@@ -1,0 +1,52 @@
+//! Front-end hot-loop benchmarks: one cycle of queue + prefetch + fetch
+//! work for each prefetcher kind.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prestage_cache::{L2Config, L2System};
+use prestage_cacti::TechNode;
+use prestage_core::{FrontEnd, FrontendConfig, PrefetcherKind};
+
+fn drive(kind: PrefetcherKind, cycles: u64) -> u64 {
+    let mut cfg = FrontendConfig::base(TechNode::T045, 8 << 10);
+    cfg.prefetcher = kind;
+    if kind != PrefetcherKind::None {
+        cfg.pb_entries = 4;
+    }
+    let mut fe = FrontEnd::new(cfg);
+    let mut l2 = L2System::new(L2Config::for_node(TechNode::T045));
+    for i in 0..256u64 {
+        l2.warm_fill(0x10000 + i * 64);
+    }
+    let mut out = Vec::new();
+    let mut seq = 0u64;
+    let mut delivered = 0u64;
+    for now in 0..cycles {
+        for c in l2.tick(now) {
+            fe.on_completion(&c);
+        }
+        out.clear();
+        fe.tick(now, &mut l2, 16, &mut out);
+        delivered += out.iter().map(|d| d.count as u64).sum::<u64>();
+        if fe.has_queue_space() {
+            let start = 0x10000 + (seq % 240) * 64;
+            fe.push_block(seq, start, 16);
+            seq += 1;
+        }
+    }
+    delivered
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/1k_cycles");
+    for (name, kind) in [
+        ("baseline", PrefetcherKind::None),
+        ("fdp", PrefetcherKind::Fdp),
+        ("clgp", PrefetcherKind::Clgp),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(drive(kind, 1_000))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

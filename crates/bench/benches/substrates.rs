@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the substrate crates' hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prestage_bpred::{FetchBlockPredictor, StreamPredictor};
+use prestage_cache::{L2Config, L2System, ReqClass, SetAssocCache};
+use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
+use prestage_workload::{build, specint2000, TraceGenerator};
+
+fn bench_cacti(c: &mut Criterion) {
+    c.bench_function("cacti/latency_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for shift in 8..=20 {
+                let g = CacheGeometry::new(1 << shift, 64, 2, 1);
+                acc += latency_cycles(black_box(&g), TechNode::T045);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = SetAssocCache::new(32 << 10, 64, 2);
+    for i in 0..512u64 {
+        cache.fill(i * 64);
+    }
+    c.bench_function("cache/lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.lookup(i * 64))
+        })
+    });
+    c.bench_function("cache/fill_evict", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.fill(i * 64))
+        })
+    });
+}
+
+fn bench_bus(c: &mut Criterion) {
+    c.bench_function("bus/submit_tick_drain", |b| {
+        b.iter(|| {
+            let mut l2 = L2System::new(L2Config::for_node(TechNode::T045));
+            for i in 0..16u64 {
+                l2.submit(0x1000 + i * 64, ReqClass::Prefetch, i);
+            }
+            let mut done = 0;
+            let mut now = 0;
+            while done < 16 {
+                done += l2.tick(now).len();
+                now += 1;
+            }
+            now
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let p = specint2000().into_iter().find(|p| p.name == "gcc").unwrap();
+    let w = build(&p, 42);
+    let mut pred = StreamPredictor::paper_default();
+    let mut gen = TraceGenerator::new(&w, 7);
+    let mut buf = Vec::new();
+    // Warm the tables.
+    for _ in 0..20_000 {
+        let s = gen.next_stream(&mut buf);
+        let tok = pred.token(s.start);
+        let pr = pred.predict(s.start, &w.program);
+        pred.train_with_token(&tok, &s, pr.stream.same_flow(&s));
+    }
+    c.bench_function("bpred/predict_train", |b| {
+        b.iter(|| {
+            let s = gen.next_stream(&mut buf);
+            let tok = pred.token(s.start);
+            let pr = pred.predict(s.start, &w.program);
+            pred.train_with_token(&tok, &s, pr.stream.same_flow(&s));
+            pr.stream.len
+        })
+    });
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let p = specint2000().into_iter().find(|p| p.name == "vortex").unwrap();
+    let w = build(&p, 42);
+    c.bench_function("workload/stream_generation", |b| {
+        let mut gen = TraceGenerator::new(&w, 7);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let s = gen.next_stream(&mut buf);
+            black_box(s.len)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cacti,
+    bench_cache,
+    bench_bus,
+    bench_predictor,
+    bench_tracegen
+);
+criterion_main!(benches);

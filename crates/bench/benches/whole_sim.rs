@@ -1,0 +1,36 @@
+//! Whole-simulator throughput: instructions simulated per wall second for
+//! the main configuration families.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use prestage_cacti::TechNode;
+use prestage_sim::{ConfigPreset, Engine, SimConfig};
+use prestage_workload::{build, specint2000};
+
+fn bench_engine(c: &mut Criterion) {
+    let p = specint2000().into_iter().find(|p| p.name == "crafty").unwrap();
+    let w = build(&p, 42);
+    const MEASURE: u64 = 20_000;
+    let mut g = c.benchmark_group("engine/crafty_20k");
+    g.throughput(Throughput::Elements(MEASURE));
+    g.sample_size(10);
+    for preset in [
+        ConfigPreset::Base,
+        ConfigPreset::BasePipelined,
+        ConfigPreset::FdpL0,
+        ConfigPreset::ClgpL0,
+        ConfigPreset::ClgpL0Pb16,
+    ] {
+        let cfg = SimConfig::preset(preset, TechNode::T045, 8 << 10).with_insts(5_000, MEASURE);
+        g.bench_function(preset.label(), |b| {
+            b.iter_batched(
+                || Engine::new(cfg, &w, 7),
+                |e| e.run(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

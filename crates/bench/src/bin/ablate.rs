@@ -1,0 +1,79 @@
+//! Ablation study of CLGP's design choices (DESIGN.md §6): which of the
+//! mechanism's three departures from FDP buys what.
+//!
+//! * `free-on-use`  — replace the consumers-counter lifetime with FDP's
+//!   free-on-use + LRU replacement.
+//! * `migrate`      — copy used prestage lines into the L0/L1 (reintroduce
+//!   the duplication CLGP avoids).
+//! * `filter`       — skip prestaging L1-resident lines (give up the
+//!   hit-latency avoidance, FDP-style).
+
+use prestage_bench::{note_result, run_lengths, workloads};
+use prestage_cacti::TechNode;
+use prestage_sim::{run_config_over, ConfigPreset, SimConfig};
+use std::io::Write;
+
+fn main() {
+    let w = workloads();
+    let tech = TechNode::T045;
+    let l1 = 4 << 10;
+    let (warm, meas) = run_lengths();
+    let base_cfg = SimConfig::preset(ConfigPreset::ClgpL0, tech, l1).with_insts(warm, meas);
+
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("CLGP (full)", base_cfg),
+        ("  - consumers counter (free-on-use)", {
+            let mut c = base_cfg;
+            c.frontend.ablate_free_on_use = true;
+            c
+        }),
+        ("  + migration (duplicate into L0/L1)", {
+            let mut c = base_cfg;
+            c.frontend.ablate_migrate = true;
+            c
+        }),
+        ("  + L1 filtering (keep L1 hits slow)", {
+            let mut c = base_cfg;
+            c.frontend.ablate_filter = true;
+            c
+        }),
+        ("all three (FDP-like management)", {
+            let mut c = base_cfg;
+            c.frontend.ablate_free_on_use = true;
+            c.frontend.ablate_migrate = true;
+            c.frontend.ablate_filter = true;
+            c
+        }),
+    ];
+
+    println!("\n# Ablation — CLGP design choices (4KB L1, 0.045um)");
+    println!(
+        "{:<40} {:>8} {:>9} {:>9}",
+        "variant", "HMEAN", "PB share", "vs full"
+    );
+    std::fs::create_dir_all("results").unwrap();
+    let mut csv = std::fs::File::create("results/ablate.csv").unwrap();
+    writeln!(csv, "variant,hmean_ipc,pb_share").unwrap();
+    let mut full = None;
+    for (name, cfg) in variants {
+        let r = run_config_over(cfg, &w, prestage_bench::seed());
+        let h = r.hmean_ipc();
+        let pb: f64 = r
+            .per_bench
+            .iter()
+            .map(|(_, s)| s.front.fetch_share(s.front.fetch_pb))
+            .sum::<f64>()
+            / r.per_bench.len() as f64;
+        let full_h = *full.get_or_insert(h);
+        println!(
+            "{:<40} {:>8.3} {:>8.1}% {:>8.1}%",
+            name,
+            h,
+            100.0 * pb,
+            100.0 * (h / full_h - 1.0)
+        );
+        writeln!(csv, "{},{:.4},{:.4}", name.trim(), h, pb).unwrap();
+        eprintln!("  ran {name}");
+    }
+    note_result("ablate", "see results/ablate.csv");
+}

@@ -1,0 +1,37 @@
+//! Run every table and figure in sequence (the full reproduction).
+//!
+//! Honours the same `PRESTAGE_*` environment knobs as the individual
+//! binaries; results land in `results/*.csv` and on stdout.
+
+use std::process::Command;
+
+fn main() {
+    let exes = [
+        ("table1", vec![]),
+        ("table2", vec![]),
+        ("table3", vec![]),
+        ("fig1", vec![]),
+        ("fig2", vec![]),
+        ("fig4", vec![]),
+        ("fig5", vec!["--tech", "90"]),
+        ("fig5", vec!["--tech", "45"]),
+        ("fig6", vec![]),
+        ("fig7", vec![]),
+        ("fig7", vec!["--l0", "on"]),
+        ("fig8", vec![]),
+        ("headline", vec![]),
+        ("ablate", vec![]),
+        ("related_work", vec![]),
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    for (exe, args) in exes {
+        eprintln!("==> {exe} {}", args.join(" "));
+        let status = Command::new(dir.join(exe))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {exe}: {e}"));
+        assert!(status.success(), "{exe} failed");
+    }
+    eprintln!("all experiments complete; see results/");
+}

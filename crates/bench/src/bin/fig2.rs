@@ -1,0 +1,13 @@
+//! Figure 2(b): FDP with and without an L0 cache (0.045 µm).
+
+use prestage_bench::{ipc_sweep, print_sweep, workloads, write_sweep_csv, L1_SIZES};
+use prestage_cacti::TechNode;
+use prestage_sim::ConfigPreset;
+
+fn main() {
+    let w = workloads();
+    let presets = [ConfigPreset::FdpL0, ConfigPreset::Fdp];
+    let rows = ipc_sweep(&presets, &L1_SIZES, TechNode::T045, &w);
+    print_sweep("Figure 2(b) — FDP with/without L0 (0.045um)", &rows, &L1_SIZES);
+    write_sweep_csv("fig2", &rows, &L1_SIZES).expect("write results/fig2.csv");
+}

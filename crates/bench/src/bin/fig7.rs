@@ -1,0 +1,73 @@
+//! Figure 7: distribution of fetch sources for FDP vs CLGP across L1
+//! sizes at 0.045 µm — (a) without, (b) with an L0 cache.
+//!
+//! `--l0 on` selects Figure 7(b); default reproduces 7(a).
+
+use prestage_bench::{config, size_label, workloads, L1_SIZES};
+use prestage_cacti::TechNode;
+use prestage_core::FrontStats;
+use prestage_sim::{run_config_over, ConfigPreset};
+use std::io::Write;
+
+fn shares(stats: &[FrontStats]) -> [f64; 5] {
+    let mut acc = [0.0; 5];
+    for f in stats {
+        acc[0] += f.fetch_share(f.fetch_pb);
+        acc[1] += f.fetch_share(f.fetch_l0);
+        acc[2] += f.fetch_share(f.fetch_l1);
+        acc[3] += f.fetch_share(f.fetch_l2);
+        acc[4] += f.fetch_share(f.fetch_mem);
+    }
+    acc.map(|x| 100.0 * x / stats.len() as f64)
+}
+
+fn main() {
+    let with_l0 = std::env::args().any(|a| a == "on" || a == "--l0=on");
+    let sub = if with_l0 { "b" } else { "a" };
+    let (fdp, clgp) = if with_l0 {
+        (ConfigPreset::FdpL0, ConfigPreset::ClgpL0)
+    } else {
+        (ConfigPreset::Fdp, ConfigPreset::Clgp)
+    };
+    let w = workloads();
+    let tech = TechNode::T045;
+
+    println!("\n# Figure 7({sub}) — fetch source distribution (%, 0.045um)");
+    println!(
+        "{:<8} {:>6} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "config", "L1", "PB", "il0", "il1", "ul2", "Mem"
+    );
+    std::fs::create_dir_all("results").unwrap();
+    let mut csv = std::fs::File::create(format!("results/fig7{sub}.csv")).unwrap();
+    writeln!(csv, "config,l1,pb,il0,il1,ul2,mem").unwrap();
+    for (name, preset) in [("FDP", fdp), ("CLGP", clgp)] {
+        for &size in &L1_SIZES {
+            let r = run_config_over(config(preset, tech, size), &w, prestage_bench::seed());
+            let st: Vec<_> = r.per_bench.iter().map(|(_, s)| s.front).collect();
+            let sh = shares(&st);
+            println!(
+                "{:<8} {:>6} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+                name,
+                size_label(size),
+                sh[0],
+                sh[1],
+                sh[2],
+                sh[3],
+                sh[4]
+            );
+            writeln!(
+                csv,
+                "{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                name,
+                size_label(size),
+                sh[0],
+                sh[1],
+                sh[2],
+                sh[3],
+                sh[4]
+            )
+            .unwrap();
+        }
+        eprintln!("  swept {name}");
+    }
+}

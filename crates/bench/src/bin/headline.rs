@@ -1,0 +1,93 @@
+//! The paper's headline numbers (abstract and §5.1):
+//!
+//! * CLGP over FDP at 4 KB: +3.5% (0.09 µm) / +12.5% (0.045 µm) with the
+//!   16-entry pipelined pre-buffers; +4.8% / +26% with the small ones.
+//! * CLGP over the pipelined baseline at 4 KB: +39% / +48%.
+//! * Budget equivalence: CLGP with 2.5 KB total (1 KB L1 + 512 B L0 + 1 KB
+//!   PB16 at 0.09 µm) matches a 16 KB pipelined I-cache — 6.4x the budget.
+//! * Fetch-source headline: ≥86% of fetches from the prestage buffer
+//!   (≈95% from one-cycle sources with an L0).
+
+use prestage_bench::{config, note_result, workloads};
+use prestage_cacti::TechNode;
+use prestage_sim::{run_config_over, ConfigPreset};
+
+fn hmean(preset: ConfigPreset, tech: TechNode, l1: usize, w: &[prestage_workload::Workload]) -> f64 {
+    run_config_over(config(preset, tech, l1), w, prestage_bench::seed()).hmean_ipc()
+}
+
+fn main() {
+    let w = workloads();
+    for tech in [TechNode::T090, TechNode::T045] {
+        let l1 = 4 << 10;
+        let clgp16 = hmean(ConfigPreset::ClgpL0Pb16, tech, l1, &w);
+        let fdp16 = hmean(ConfigPreset::FdpL0Pb16, tech, l1, &w);
+        let clgp = hmean(ConfigPreset::ClgpL0, tech, l1, &w);
+        let fdp = hmean(ConfigPreset::FdpL0, tech, l1, &w);
+        let pipe = hmean(ConfigPreset::BasePipelined, tech, l1, &w);
+        let base_l0 = hmean(ConfigPreset::BaseL0, tech, l1, &w);
+        note_result(
+            &format!("headline {}", tech.label()),
+            &format!(
+                "4KB L1: CLGP+L0+PB16 {:.3} vs FDP+L0+PB16 {:.3} ({:+.1}%); \
+                 CLGP+L0 {:.3} vs FDP+L0 {:.3} ({:+.1}%); \
+                 CLGP+PB16 over base-pipelined {:.3} ({:+.1}%); \
+                 CLGP+PB16 over base+L0 {:.3} ({:+.1}%)",
+                clgp16,
+                fdp16,
+                (clgp16 / fdp16 - 1.0) * 100.0,
+                clgp,
+                fdp,
+                (clgp / fdp - 1.0) * 100.0,
+                pipe,
+                (clgp16 / pipe - 1.0) * 100.0,
+                base_l0,
+                (clgp16 / base_l0 - 1.0) * 100.0,
+            ),
+        );
+    }
+
+    // Budget equivalence at 0.09um: CLGP 2.5KB total vs pipelined caches.
+    let tech = TechNode::T090;
+    let clgp_1k = hmean(ConfigPreset::ClgpL0Pb16, tech, 1 << 10, &w);
+    let mut equiv = None;
+    for &size in &prestage_bench::L1_SIZES {
+        let pipe = hmean(ConfigPreset::BasePipelined, tech, size, &w);
+        if pipe >= clgp_1k {
+            equiv = Some((size, pipe));
+            break;
+        }
+        equiv = Some((size, pipe));
+    }
+    let (esize, epipe) = equiv.unwrap();
+    note_result(
+        "headline budget",
+        &format!(
+            "CLGP+L0+PB16 with 1KB L1 (2.5KB total budget) reaches {clgp_1k:.3}; \
+             the smallest pipelined I-cache matching it is {} ({} IPC {epipe:.3}) \
+             => {}x the 2.5KB budget",
+            prestage_bench::size_label(esize),
+            prestage_bench::size_label(esize),
+            esize as f64 / 2560.0
+        ),
+    );
+
+    // Fetch-source headline at 4KB / 0.045um.
+    for (label, preset) in [("CLGP", ConfigPreset::Clgp), ("CLGP+L0", ConfigPreset::ClgpL0)] {
+        let r = run_config_over(config(preset, TechNode::T045, 4 << 10), &w, prestage_bench::seed());
+        let (mut pb, mut one) = (0.0, 0.0);
+        for (_, s) in &r.per_bench {
+            pb += s.front.fetch_share(s.front.fetch_pb);
+            one += s.front.one_cycle_share();
+        }
+        let n = r.per_bench.len() as f64;
+        note_result(
+            "headline sources",
+            &format!(
+                "{label}: {:.1}% of fetches from the prestage buffer, {:.1}% from one-cycle sources",
+                100.0 * pb / n,
+                100.0 * one / n
+            ),
+        );
+    }
+}

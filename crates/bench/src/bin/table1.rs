@@ -1,0 +1,31 @@
+//! Table 1: technological parameters predicted by the SIA.
+
+use prestage_cacti::SIA_ROADMAP;
+
+fn main() {
+    println!("# Table 1 — SIA technology roadmap");
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Year",
+        SIA_ROADMAP[0].year,
+        SIA_ROADMAP[1].year,
+        SIA_ROADMAP[2].year,
+        SIA_ROADMAP[3].year,
+        SIA_ROADMAP[4].year
+    );
+    print!("{:<22}", "Technology (um)");
+    for e in &SIA_ROADMAP {
+        print!(" {:>6}", e.feature_um);
+    }
+    println!();
+    print!("{:<22}", "Clock Frequency (GHz)");
+    for e in &SIA_ROADMAP {
+        print!(" {:>6}", e.clock_ghz);
+    }
+    println!();
+    print!("{:<22}", "Cycle time (ns)");
+    for e in &SIA_ROADMAP {
+        print!(" {:>6}", e.cycle_ns);
+    }
+    println!();
+}

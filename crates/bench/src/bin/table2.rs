@@ -1,0 +1,38 @@
+//! Table 2: simulation parameters (the defaults of every run).
+
+use prestage_bpred::StreamPredictorConfig;
+use prestage_cacti::TechNode;
+use prestage_core::FrontendConfig;
+use prestage_sim::BackendConfig;
+
+fn main() {
+    let fe = FrontendConfig::base(TechNode::T045, 8 << 10);
+    let be = BackendConfig::default();
+    let sp = StreamPredictorConfig::default();
+    println!("# Table 2 — simulation parameters");
+    println!("Fetch/Issue/Commit      {} instructions", be.width);
+    println!("RUU Size                {} instructions", be.ruu_size);
+    println!(
+        "Branch Predictor        {}K+{}K-entry stream pred., 1 cycle lat.",
+        sp.l1_entries / 1024,
+        sp.l2_entries / 1024
+    );
+    println!("RAS                     {}-entry", sp.ras_entries);
+    println!("Pipeline depth          15 stages");
+    println!(
+        "L1 I-Cache              {}-way asc., 1 port, {}B/line",
+        fe.l1_assoc, fe.line_bytes
+    );
+    println!(
+        "L1 D-Cache              {}KB, {}-way, {}-cyc lat, {} ports, {}B/line",
+        be.dcache_capacity >> 10,
+        be.dcache_assoc,
+        be.dcache_latency,
+        be.dcache_ports,
+        be.dcache_line
+    );
+    println!("L2 Cache                1MB, 2-way asc., 1 port, 128B/line");
+    println!("Mem. lat.               200 cycles");
+    println!("L2 bus BW               64B/cycle");
+    println!("Pre. Buffer / L0 cache  {}B/line", fe.line_bytes);
+}

@@ -1,0 +1,23 @@
+//! Table 3: L1 I-cache and L2 cache latencies per size and technology node,
+//! from the calibrated CACTI model.
+
+use prestage_bench::{size_label, L1_SIZES};
+use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
+
+fn main() {
+    println!("# Table 3 — cache latencies (cycles)");
+    print!("{:<12}", "Tech");
+    for &s in &L1_SIZES {
+        print!(" {:>6}", size_label(s));
+    }
+    println!(" {:>6}", "1MB");
+    for node in [TechNode::T090, TechNode::T045] {
+        print!("{:<12}", node.label());
+        for &s in &L1_SIZES {
+            let g = CacheGeometry::new(s, 64, 2, 1);
+            print!(" {:>6}", latency_cycles(&g, node));
+        }
+        let l2 = CacheGeometry::new(1 << 20, 128, 2, 1);
+        println!(" {:>6}", latency_cycles(&l2, node));
+    }
+}

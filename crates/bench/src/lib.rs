@@ -1,0 +1,213 @@
+//! # prestage-bench
+//!
+//! The experiment harness: shared sweep plumbing used by the per-figure
+//! binaries in `src/bin/` (one per table/figure of the paper — see
+//! DESIGN.md §5 for the index) and by the Criterion benches in `benches/`.
+//!
+//! Run lengths are controlled by environment variables so the full
+//! reproduction and quick smoke runs share one code path:
+//!
+//! * `PRESTAGE_WARMUP`  — warm-up instructions per run (default 200 000)
+//! * `PRESTAGE_MEASURE` — measured instructions per run (default 1 000 000)
+//! * `PRESTAGE_SEED`    — workload generation seed (default 42)
+//! * `PRESTAGE_BENCH`   — comma-separated benchmark filter (default: all 12)
+
+use prestage_cacti::TechNode;
+use prestage_sim::{run_config_over, ConfigPreset, GridResult, SimConfig};
+use prestage_workload::{build, specint2000, Workload};
+use std::io::Write;
+use std::path::Path;
+
+/// The paper's L1 I-cache sweep: 256 B … 64 KB.
+pub const L1_SIZES: [usize; 9] = [
+    256,
+    512,
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+];
+
+/// Human label for a size ("256B", "4K", ...).
+pub fn size_label(bytes: usize) -> String {
+    if bytes < 1024 {
+        format!("{bytes}B")
+    } else {
+        format!("{}K", bytes / 1024)
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// (warm-up, measured) instruction counts from the environment.
+pub fn run_lengths() -> (u64, u64) {
+    (
+        env_u64("PRESTAGE_WARMUP", 200_000),
+        env_u64("PRESTAGE_MEASURE", 1_000_000),
+    )
+}
+
+/// Workload generation seed.
+pub fn seed() -> u64 {
+    env_u64("PRESTAGE_SEED", 42)
+}
+
+/// Build the SPECint2000 workload set (honouring `PRESTAGE_BENCH`).
+pub fn workloads() -> Vec<Workload> {
+    let filter: Option<Vec<String>> = std::env::var("PRESTAGE_BENCH")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let seed = seed();
+    specint2000()
+        .into_iter()
+        .filter(|p| {
+            filter
+                .as_ref()
+                .is_none_or(|f| f.iter().any(|n| n == p.name))
+        })
+        .map(|p| build(&p, seed))
+        .collect()
+}
+
+/// Build a preset configuration with environment-driven run lengths.
+pub fn config(preset: ConfigPreset, tech: TechNode, l1: usize) -> SimConfig {
+    let (w, m) = run_lengths();
+    SimConfig::preset(preset, tech, l1).with_insts(w, m)
+}
+
+/// One row of an IPC sweep: a preset across all L1 sizes.
+pub struct SweepRow {
+    pub preset: ConfigPreset,
+    pub results: Vec<(usize, GridResult)>,
+}
+
+/// Sweep `presets` × `sizes` at `tech` over `workloads`.
+pub fn ipc_sweep(
+    presets: &[ConfigPreset],
+    sizes: &[usize],
+    tech: TechNode,
+    workloads: &[Workload],
+) -> Vec<SweepRow> {
+    presets
+        .iter()
+        .map(|&preset| {
+            let results = sizes
+                .iter()
+                .map(|&s| {
+                    let cfg = config(preset, tech, s);
+                    (s, run_config_over(cfg, workloads, seed()))
+                })
+                .collect();
+            eprintln!("  swept {}", preset.label());
+            SweepRow { preset, results }
+        })
+        .collect()
+}
+
+/// Print an IPC sweep as an aligned text table (the figure's data series).
+pub fn print_sweep(title: &str, rows: &[SweepRow], sizes: &[usize]) {
+    println!("\n# {title}");
+    print!("{:<16}", "config");
+    for &s in sizes {
+        print!(" {:>8}", size_label(s));
+    }
+    println!();
+    for row in rows {
+        print!("{:<16}", row.preset.label());
+        for (_, r) in &row.results {
+            print!(" {:>8.3}", r.hmean_ipc());
+        }
+        println!();
+    }
+}
+
+/// Write an IPC sweep to `results/<name>.csv`.
+pub fn write_sweep_csv(name: &str, rows: &[SweepRow], sizes: &[usize]) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+    write!(f, "config")?;
+    for &s in sizes {
+        write!(f, ",{}", size_label(s))?;
+    }
+    writeln!(f)?;
+    for row in rows {
+        write!(f, "{}", row.preset.label())?;
+        for (_, r) in &row.results {
+            write!(f, ",{:.4}", r.hmean_ipc())?;
+        }
+        writeln!(f)?;
+    }
+    // Per-benchmark detail sheet.
+    let mut f = std::fs::File::create(dir.join(format!("{name}_detail.csv")))?;
+    writeln!(f, "config,l1,bench,ipc,mpki,pb_share,l0_share,l1_share")?;
+    for row in rows {
+        for (size, r) in &row.results {
+            for (name_b, s) in &r.per_bench {
+                writeln!(
+                    f,
+                    "{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4}",
+                    row.preset.label(),
+                    size_label(*size),
+                    name_b,
+                    s.ipc(),
+                    s.mpki(),
+                    s.front.fetch_share(s.front.fetch_pb),
+                    s.front.fetch_share(s.front.fetch_l0),
+                    s.front.fetch_share(s.front.fetch_l1),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Append a record of measured headline values (consumed by EXPERIMENTS.md
+/// upkeep).
+pub fn note_result(name: &str, text: &str) {
+    println!("[{name}] {text}");
+    let _ = std::fs::create_dir_all("results");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("results/headline_notes.txt")
+        .expect("results dir writable");
+    let _ = writeln!(f, "[{name}] {text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(256), "256B");
+        assert_eq!(size_label(4096), "4K");
+        assert_eq!(size_label(64 << 10), "64K");
+    }
+
+    #[test]
+    fn sizes_match_paper_axis() {
+        assert_eq!(L1_SIZES.len(), 9);
+        assert_eq!(L1_SIZES[0], 256);
+        assert_eq!(L1_SIZES[8], 64 << 10);
+        for w in L1_SIZES.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn default_run_lengths() {
+        // Env-free defaults (tests may run with env set; only check order).
+        let (w, m) = run_lengths();
+        assert!(w >= 1 && m >= w);
+    }
+}

@@ -1,0 +1,305 @@
+//! Set-associative cache array with true LRU.
+
+use crate::lru::LruSet;
+use prestage_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub fills: u64,
+    pub evictions: u64,
+    pub probes: u64,
+    pub probe_hits: u64,
+}
+
+impl CacheStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// A set-associative cache directory (tags only — this simulator never needs
+/// data values, just presence and replacement state).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    line_shift: u32,
+    sets: usize,
+    assoc: usize,
+    /// `tags[set * assoc + way]` — stored as line numbers.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    lru: Vec<LruSet>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Build a cache of `capacity` bytes with `line`-byte lines, `assoc`
+    /// ways.
+    ///
+    /// # Panics
+    /// Panics on non-power-of-two capacity/line or a capacity smaller than
+    /// one way of lines.
+    pub fn new(capacity: usize, line: usize, assoc: usize) -> Self {
+        assert!(capacity.is_power_of_two() && line.is_power_of_two());
+        assert!(assoc >= 1);
+        let lines = capacity / line;
+        assert!(lines >= assoc, "capacity below one way");
+        let sets = lines / assoc;
+        SetAssocCache {
+            line_shift: line.trailing_zeros(),
+            sets,
+            assoc,
+            tags: vec![0; lines],
+            valid: vec![false; lines],
+            dirty: vec![false; lines],
+            lru: (0..sets).map(|_| LruSet::new(assoc)).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Fully associative helper.
+    pub fn fully_associative(capacity: usize, line: usize) -> Self {
+        let ways = capacity / line;
+        Self::new(capacity, line, ways)
+    }
+
+    #[inline]
+    fn line_num(&self, addr: Addr) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_of(&self, line_num: u64) -> usize {
+        (line_num as usize) & (self.sets - 1)
+    }
+
+    fn find(&self, addr: Addr) -> Option<(usize, usize)> {
+        let ln = self.line_num(addr);
+        let set = self.set_of(ln);
+        let base = set * self.assoc;
+        (0..self.assoc)
+            .find(|&w| self.valid[base + w] && self.tags[base + w] == ln)
+            .map(|w| (set, w))
+    }
+
+    /// Demand access: returns `true` on hit and updates LRU.
+    pub fn lookup(&mut self, addr: Addr) -> bool {
+        match self.find(addr) {
+            Some((set, way)) => {
+                self.lru[set].touch(way);
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Tag probe with **no** LRU update and separate accounting — this is
+    /// the extra tag port FDP's Enqueue Cache Probe Filtering uses.
+    pub fn probe(&mut self, addr: Addr) -> bool {
+        self.stats.probes += 1;
+        let hit = self.find(addr).is_some();
+        if hit {
+            self.stats.probe_hits += 1;
+        }
+        hit
+    }
+
+    /// Presence check without any accounting (for assertions/invariants).
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Insert the line containing `addr`; evicts LRU if the set is full.
+    /// Returns the evicted line's base address and dirty flag, if any.
+    /// Filling an already-present line refreshes its LRU position instead.
+    pub fn fill(&mut self, addr: Addr) -> Option<(Addr, bool)> {
+        self.stats.fills += 1;
+        if let Some((set, way)) = self.find(addr) {
+            self.lru[set].touch(way);
+            return None;
+        }
+        let ln = self.line_num(addr);
+        let set = self.set_of(ln);
+        let base = set * self.assoc;
+        let way = (0..self.assoc)
+            .find(|&w| !self.valid[base + w])
+            .unwrap_or_else(|| self.lru[set].lru());
+        let victim = if self.valid[base + way] {
+            self.stats.evictions += 1;
+            Some((
+                self.tags[base + way] << self.line_shift,
+                self.dirty[base + way],
+            ))
+        } else {
+            None
+        };
+        self.tags[base + way] = ln;
+        self.valid[base + way] = true;
+        self.dirty[base + way] = false;
+        self.lru[set].touch(way);
+        victim
+    }
+
+    /// Mark the line containing `addr` dirty (store hit).  No-op on absence.
+    pub fn set_dirty(&mut self, addr: Addr) {
+        if let Some((set, way)) = self.find(addr) {
+            self.dirty[set * self.assoc + way] = true;
+        }
+    }
+
+    /// Remove the line containing `addr` if present.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        if let Some((set, way)) = self.find(addr) {
+            self.valid[set * self.assoc + way] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop all contents (keeps statistics).
+    pub fn flush(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        (self.sets * self.assoc) << self.line_shift
+    }
+
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssocCache::new(1024, 64, 2);
+        assert!(!c.lookup(0x40));
+        c.fill(0x40);
+        assert!(c.lookup(0x40));
+        assert!(c.lookup(0x7f)); // same line
+        assert!(!c.lookup(0x80)); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 sets, 2 ways, 64B lines => lines mapping to set0: 0x000, 0x080…
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.fill(0x000);
+        c.fill(0x100); // same set 0
+        assert!(c.lookup(0x000)); // make 0x000 MRU
+        let victim = c.fill(0x200); // evicts LRU = 0x100
+        assert_eq!(victim, Some((0x100, false)));
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x100));
+        assert!(c.contains(0x200));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.fill(0x000);
+        c.fill(0x100);
+        // 0x000 is LRU; probing it must NOT refresh it.
+        assert!(c.probe(0x000));
+        let victim = c.fill(0x200);
+        assert_eq!(victim, Some((0x000, false)));
+        assert_eq!(c.stats().probes, 1);
+        assert_eq!(c.stats().probe_hits, 1);
+    }
+
+    #[test]
+    fn refill_of_present_line_refreshes() {
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.fill(0x000);
+        c.fill(0x100);
+        c.fill(0x000); // refresh, not duplicate
+        let victim = c.fill(0x200);
+        assert_eq!(victim, Some((0x100, false)));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = SetAssocCache::new(128, 64, 2);
+        c.fill(0x000);
+        c.set_dirty(0x000);
+        c.fill(0x080);
+        let victim = c.fill(0x100);
+        assert_eq!(victim, Some((0x000, true)));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = SetAssocCache::new(256, 64, 4);
+        c.fill(0x00);
+        c.fill(0x40);
+        assert!(c.invalidate(0x00));
+        assert!(!c.invalidate(0x00));
+        assert_eq!(c.occupancy(), 1);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn fully_associative_uses_whole_capacity() {
+        let mut c = SetAssocCache::fully_associative(256, 64);
+        for i in 0..4u64 {
+            c.fill(i * 0x1000); // wildly different indices all coexist
+        }
+        assert_eq!(c.occupancy(), 4);
+        let victim = c.fill(0x9000);
+        assert!(victim.is_some());
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let c = SetAssocCache::new(32 << 10, 64, 2);
+        assert_eq!(c.capacity_bytes(), 32 << 10);
+        assert_eq!(c.line_bytes(), 64);
+        assert_eq!(c.assoc(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! True-LRU replacement state for one cache set.
+//!
+//! Associativities here are small (2-way L1s, up to 16-entry fully
+//! associative buffers), so an explicit rank vector beats cleverer schemes:
+//! rank 0 = MRU, rank `assoc-1` = LRU.
+
+/// LRU ranks for the ways of one set.
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    /// `rank[way]` — 0 is most recently used.
+    rank: Vec<u8>,
+}
+
+impl LruSet {
+    pub fn new(assoc: usize) -> Self {
+        assert!((1..=255).contains(&assoc));
+        LruSet {
+            rank: (0..assoc as u8).collect(),
+        }
+    }
+
+    /// Mark `way` most recently used.
+    pub fn touch(&mut self, way: usize) {
+        let old = self.rank[way];
+        for r in &mut self.rank {
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.rank[way] = 0;
+    }
+
+    /// The least recently used way.
+    pub fn lru(&self) -> usize {
+        let max = (self.rank.len() - 1) as u8;
+        self.rank.iter().position(|&r| r == max).expect("rank permutation")
+    }
+
+    /// The least recently used way among `eligible` (e.g. CLGP restricts
+    /// replacement to entries with a zero consumers counter).  Returns
+    /// `None` when no way is eligible.
+    pub fn lru_among(&self, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        self.rank
+            .iter()
+            .enumerate()
+            .filter(|&(way, _)| eligible(way))
+            .max_by_key(|&(_, &r)| r)
+            .map(|(way, _)| way)
+    }
+
+    /// Current rank of a way (0 = MRU).
+    pub fn rank_of(&self, way: usize) -> u8 {
+        self.rank[way]
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.rank.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_set_is_identity_permutation() {
+        let l = LruSet::new(4);
+        assert_eq!(l.lru(), 3);
+        assert_eq!(l.rank_of(0), 0);
+    }
+
+    #[test]
+    fn touch_moves_to_mru() {
+        let mut l = LruSet::new(4);
+        l.touch(3);
+        assert_eq!(l.rank_of(3), 0);
+        assert_eq!(l.lru(), 2); // previous rank-2 way is now LRU
+        l.touch(0);
+        l.touch(1);
+        l.touch(2);
+        assert_eq!(l.lru(), 3);
+    }
+
+    #[test]
+    fn repeated_touch_is_stable() {
+        let mut l = LruSet::new(3);
+        l.touch(1);
+        l.touch(1);
+        l.touch(1);
+        assert_eq!(l.rank_of(1), 0);
+        assert_eq!(l.lru(), 2);
+    }
+
+    #[test]
+    fn lru_among_respects_eligibility() {
+        let mut l = LruSet::new(4);
+        l.touch(3); // ranks now: 3->0, 0->1, 1->2, 2->3
+        assert_eq!(l.lru_among(|w| w != 2), Some(1));
+        assert_eq!(l.lru_among(|w| w == 3), Some(3));
+        assert_eq!(l.lru_among(|_| false), None);
+    }
+
+    #[test]
+    fn ranks_stay_a_permutation() {
+        let mut l = LruSet::new(8);
+        // Arbitrary touch sequence.
+        for i in [3usize, 1, 4, 1, 5, 2, 6, 5, 3, 5, 7, 0] {
+            l.touch(i);
+            let mut seen = vec![false; 8];
+            for w in 0..8 {
+                let r = l.rank_of(w) as usize;
+                assert!(!seen[r], "duplicate rank");
+                seen[r] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Front-end configuration and derived latencies.
+
+use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
+use serde::{Deserialize, Serialize};
+
+/// Which prefetch engine drives the pre-buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching (baseline).
+    None,
+    /// Fetch Directed Prefetching with Enqueue Cache Probe Filtering.
+    Fdp,
+    /// Cache Line Guided Prestaging.
+    Clgp,
+    /// Next-N-line prefetching (Smith '82), the classic sequential scheme
+    /// of the paper's related work: each demand line fetch triggers
+    /// prefetches of the next `nlp_degree` sequential lines into an
+    /// FDP-style buffer.
+    NextLine,
+}
+
+/// Static configuration of the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontendConfig {
+    pub tech: TechNode,
+    /// Instructions delivered per cycle (Table 2: 4).
+    pub fetch_width: u32,
+    /// I-cache line size in bytes (Table 2: 64).
+    pub line_bytes: u64,
+    /// L1 I-cache capacity in bytes.
+    pub l1_capacity: usize,
+    /// L1 associativity (Table 2: 2).
+    pub l1_assoc: usize,
+    /// Pipeline the L1 access (latency stages, 1/cycle throughput).
+    pub l1_pipelined: bool,
+    /// Figure 1's "ideal": the L1 answers in one cycle regardless of size.
+    pub ideal_l1: bool,
+    /// Optional L0 filter cache capacity (fully associative).
+    pub l0_capacity: Option<usize>,
+    /// Pre-buffer entries (64 B lines); 0 disables the pre-buffer.
+    pub pb_entries: usize,
+    /// Pipeline the pre-buffer access (the 16-entry configurations).
+    pub pb_pipelined: bool,
+    /// Decoupling-queue capacity in fetch blocks (Table 2 text: 8).
+    pub queue_blocks: usize,
+    pub prefetcher: PrefetcherKind,
+    /// FDP prefetch-instruction-queue entries.
+    pub piq_entries: usize,
+    /// Maximum overlapped line fetches (fetch pipeline depth).
+    pub max_inflight: usize,
+    /// Sequential prefetch degree for [`PrefetcherKind::NextLine`].
+    pub nlp_degree: u32,
+    /// Ablation: CLGP's prestage buffer uses FDP's free-on-use replacement
+    /// instead of consumers counters (quantifies the counter's coverage).
+    pub ablate_free_on_use: bool,
+    /// Ablation: CLGP migrates used prestage lines into the L0/L1 like FDP
+    /// (quantifies the no-duplication policy).
+    pub ablate_migrate: bool,
+    /// Ablation: CLGP filters L1-resident lines like FDP (quantifies
+    /// hit-latency avoidance, the paper's "even to avoid the hit penalty").
+    pub ablate_filter: bool,
+}
+
+impl FrontendConfig {
+    /// A Table 2 baseline at `tech` with the given L1 capacity: no
+    /// prefetching, no L0, non-pipelined L1.
+    pub fn base(tech: TechNode, l1_capacity: usize) -> Self {
+        FrontendConfig {
+            tech,
+            fetch_width: 4,
+            line_bytes: 64,
+            l1_capacity,
+            l1_assoc: 2,
+            l1_pipelined: false,
+            ideal_l1: false,
+            l0_capacity: None,
+            pb_entries: 0,
+            pb_pipelined: false,
+            queue_blocks: 8,
+            prefetcher: PrefetcherKind::None,
+            piq_entries: 8,
+            max_inflight: 4,
+            nlp_degree: 2,
+            ablate_free_on_use: false,
+            ablate_migrate: false,
+            ablate_filter: false,
+        }
+    }
+
+    /// The single-cycle pre-buffer/L0 size CACTI allows at `tech`
+    /// (§5.1: 512 B at 0.09 µm, 256 B at 0.045 µm), in 64-byte lines.
+    pub fn one_cycle_buffer_lines(tech: TechNode) -> usize {
+        let mut lines = 1usize;
+        while lines < 64 {
+            let next = CacheGeometry::fully_associative((lines * 2) * 64, 64, 1);
+            if latency_cycles(&next, tech) > 1 {
+                break;
+            }
+            lines *= 2;
+        }
+        lines
+    }
+
+    /// L1 access latency in cycles.
+    pub fn l1_latency(&self) -> u32 {
+        if self.ideal_l1 {
+            return 1;
+        }
+        let g = CacheGeometry::new(self.l1_capacity, self.line_bytes as usize, self.l1_assoc, 1);
+        latency_cycles(&g, self.tech)
+    }
+
+    /// L0 access latency in cycles (the L0 is sized to be single cycle).
+    pub fn l0_latency(&self) -> u32 {
+        match self.l0_capacity {
+            Some(c) => {
+                let g = CacheGeometry::fully_associative(c, self.line_bytes as usize, 1);
+                latency_cycles(&g, self.tech)
+            }
+            None => 1,
+        }
+    }
+
+    /// Pre-buffer access latency in cycles.
+    pub fn pb_latency(&self) -> u32 {
+        if self.pb_entries == 0 {
+            return 1;
+        }
+        let bytes = (self.pb_entries * self.line_bytes as usize).next_power_of_two();
+        let g = CacheGeometry::fully_associative(bytes, self.line_bytes as usize, 1);
+        latency_cycles(&g, self.tech)
+    }
+
+    /// Extra pipeline stages the fetch stage contributes beyond one:
+    /// pipelined arrays insert their full latency into the front-end,
+    /// which is what inflates the branch-misprediction penalty (§1).
+    pub fn fetch_pipeline_stages(&self) -> u32 {
+        let mut stages = 1;
+        if self.l1_pipelined {
+            stages = stages.max(self.l1_latency());
+        }
+        if self.pb_pipelined {
+            stages = stages.max(self.pb_latency());
+        }
+        stages
+    }
+
+    /// Total one-cycle-reachable cache budget in bytes (pre-buffer + L0),
+    /// used for the paper's hardware-budget comparisons.
+    pub fn one_cycle_budget_bytes(&self) -> usize {
+        self.pb_entries * self.line_bytes as usize + self.l0_capacity.unwrap_or(0)
+    }
+
+    /// Total front-end storage budget (pre-buffer + L0 + L1).
+    pub fn total_budget_bytes(&self) -> usize {
+        self.one_cycle_budget_bytes() + self.l1_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cycle_buffer_sizes_match_paper() {
+        assert_eq!(FrontendConfig::one_cycle_buffer_lines(TechNode::T090), 8); // 512 B
+        assert_eq!(FrontendConfig::one_cycle_buffer_lines(TechNode::T045), 4); // 256 B
+    }
+
+    #[test]
+    fn latencies_derive_from_table3() {
+        let c = FrontendConfig::base(TechNode::T045, 8 << 10);
+        assert_eq!(c.l1_latency(), 4);
+        let c9 = FrontendConfig::base(TechNode::T090, 8 << 10);
+        assert_eq!(c9.l1_latency(), 3);
+    }
+
+    #[test]
+    fn ideal_l1_is_single_cycle() {
+        let mut c = FrontendConfig::base(TechNode::T045, 64 << 10);
+        c.ideal_l1 = true;
+        assert_eq!(c.l1_latency(), 1);
+    }
+
+    #[test]
+    fn pb16_latency_matches_section51() {
+        // 16-entry pre-buffer = 1 KB: "pipelined into two stages at 0.09um
+        // and into three stages at 0.045um".
+        let mut c = FrontendConfig::base(TechNode::T090, 4 << 10);
+        c.pb_entries = 16;
+        assert_eq!(c.pb_latency(), 2);
+        c.tech = TechNode::T045;
+        assert_eq!(c.pb_latency(), 3);
+    }
+
+    #[test]
+    fn fetch_stage_depth_tracks_pipelined_arrays() {
+        let mut c = FrontendConfig::base(TechNode::T045, 64 << 10);
+        assert_eq!(c.fetch_pipeline_stages(), 1);
+        c.l1_pipelined = true;
+        assert_eq!(c.fetch_pipeline_stages(), 5); // 64KB @0.045 = 5 cycles
+        c.l1_pipelined = false;
+        c.pb_entries = 16;
+        c.pb_pipelined = true;
+        assert_eq!(c.fetch_pipeline_stages(), 3);
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let mut c = FrontendConfig::base(TechNode::T090, 1 << 10);
+        c.pb_entries = 16;
+        c.l0_capacity = Some(512);
+        // 1KB PB + 0.5KB L0 + 1KB L1 = 2.5KB: the paper's §5.1 example.
+        assert_eq!(c.total_budget_bytes(), 2560);
+        assert_eq!(c.one_cycle_budget_bytes(), 1536);
+    }
+}

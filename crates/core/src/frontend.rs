@@ -1,0 +1,660 @@
+//! The decoupled fetch front-end: fetch unit + prefetch engine.
+//!
+//! One [`FrontEnd`] instance owns the L1 I-cache, the optional L0 filter
+//! cache, the pre-buffer (prefetch or prestage semantics), the decoupling
+//! queue, and the prefetch engine.  The embedding simulator:
+//!
+//! 1. pushes predicted fetch blocks with [`FrontEnd::push_block`] (one per
+//!    cycle, whenever [`FrontEnd::has_queue_space`]);
+//! 2. calls [`FrontEnd::tick`] once per cycle, passing the shared
+//!    [`L2System`] and the number of downstream (decode) slots available;
+//!    deliveries come back tagged with block sequence, PC range and fetch
+//!    source;
+//! 3. routes L2 completions back via [`FrontEnd::on_completion`];
+//! 4. calls [`FrontEnd::flush`] on a branch misprediction redirect.
+//!
+//! ## Fetch path
+//!
+//! The fetch unit works on one queue line at a time (up to
+//! `cfg.max_inflight` overlapped), probing pre-buffer, L0 and L1 in
+//! parallel; the fastest hit wins (pre-buffer and L0 are one cycle — or a
+//! pipelined pre-buffer's full latency — while the L1 costs its CACTI
+//! latency and, when not pipelined, blocks its port for the whole access).
+//! Misses everywhere become demand requests to the L2 system at I-fetch
+//! priority.  A line whose prefetch is still in flight is *waited on*
+//! (prestaging hides the remaining latency) and counts as a pre-buffer
+//! fetch, like the paper's fetch-source accounting.
+//!
+//! ## Fill policies (§3.1.1, §3.2.3, §3.2.4)
+//!
+//! * demand miss: fill L1, plus L0 when present;
+//! * FDP pre-buffer fetch-hit: migrate the line to L0 (if present) else L1
+//!   and free the entry;
+//! * CLGP pre-buffer fetch-hit: decrement the consumers counter; **no
+//!   migration** — evicted prestage lines are simply dropped, so pre-buffer
+//!   and emergency-cache contents never duplicate.
+
+use crate::buffer::{PbKind, PbLookup, PreBuffer};
+use crate::config::{FrontendConfig, PrefetcherKind};
+use crate::queue::{FetchQueue, LineSlot, QueueKind};
+use crate::stats::FrontStats;
+use prestage_cache::{ArrayPort, Completion, L2System, MemSource, ReqClass, ReqId, SetAssocCache};
+use prestage_isa::{Addr, INST_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Where a fetched line came from (Figure 7 categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchSource {
+    PreBuffer,
+    L0,
+    L1,
+    L2,
+    Mem,
+}
+
+/// A batch of fetched instructions handed to decode this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    pub block_seq: u64,
+    pub first_pc: Addr,
+    pub count: u32,
+    pub source: FetchSource,
+    pub cycle: u64,
+    /// This delivery finishes its fetch block.
+    pub completes_block: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LfState {
+    /// Waiting on a pending pre-buffer entry to become valid.
+    WaitPb,
+    /// Waiting on a demand request to the L2 system.
+    WaitMem(ReqId),
+    /// Data available at the given cycle.
+    Ready(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineFetch {
+    slot: LineSlot,
+    state: LfState,
+    source: FetchSource,
+    delivered: u32,
+    counted: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Route {
+    demand: bool,
+    pb_fill: bool,
+}
+
+/// The decoupled fetch front-end.
+#[derive(Debug)]
+pub struct FrontEnd {
+    cfg: FrontendConfig,
+    queue: FetchQueue,
+    pb: Option<PreBuffer>,
+    pb_port: ArrayPort,
+    l1: SetAssocCache,
+    l1_port: ArrayPort,
+    /// Port used by prefetch copies out of the L1 (§3.1's "additional tag
+    /// port (or replicated tags)" extended to the data array, so copies do
+    /// not steal demand-fetch bandwidth).
+    l1_copy_port: ArrayPort,
+    l0: Option<(SetAssocCache, ArrayPort)>,
+    inflight: VecDeque<LineFetch>,
+    /// FDP prefetch instruction queue.
+    piq: VecDeque<Addr>,
+    /// Prefetch copies from the L1 completing at (cycle, synthetic id).
+    l1_copies: Vec<(u64, ReqId)>,
+    routes: HashMap<ReqId, Route>,
+    next_synth: u64,
+    stats: FrontStats,
+}
+
+/// Synthetic request-id namespace for L1→PB copies (disjoint from the
+/// L2 system's sequence numbers).
+const SYNTH_BASE: u64 = 1 << 63;
+
+impl FrontEnd {
+    pub fn new(cfg: FrontendConfig) -> Self {
+        let kind = match cfg.prefetcher {
+            PrefetcherKind::Clgp => QueueKind::Cltq,
+            _ => QueueKind::Ftq,
+        };
+        let pb = (cfg.pb_entries > 0).then(|| {
+            PreBuffer::new(
+                match cfg.prefetcher {
+                    PrefetcherKind::Clgp if !cfg.ablate_free_on_use => PbKind::Clgp,
+                    _ => PbKind::Fdp,
+                },
+                cfg.pb_entries,
+            )
+        });
+        let l0 = cfg.l0_capacity.map(|c| {
+            (
+                SetAssocCache::fully_associative(c, cfg.line_bytes as usize),
+                ArrayPort::new(cfg.l0_latency(), false),
+            )
+        });
+        FrontEnd {
+            queue: FetchQueue::new(kind, cfg.line_bytes, cfg.queue_blocks),
+            pb,
+            pb_port: ArrayPort::new(cfg.pb_latency(), cfg.pb_pipelined),
+            l1: SetAssocCache::new(cfg.l1_capacity, cfg.line_bytes as usize, cfg.l1_assoc),
+            l1_port: ArrayPort::new(cfg.l1_latency(), cfg.l1_pipelined),
+            l1_copy_port: ArrayPort::new(cfg.l1_latency(), cfg.l1_pipelined),
+            l0,
+            inflight: VecDeque::new(),
+            piq: VecDeque::new(),
+            l1_copies: Vec::new(),
+            routes: HashMap::new(),
+            next_synth: SYNTH_BASE,
+            cfg,
+            stats: FrontStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FrontendConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &FrontStats {
+        &self.stats
+    }
+
+    /// Zero all counters (end of warm-up); cache/buffer contents are kept.
+    pub fn reset_stats(&mut self) {
+        self.stats = FrontStats::default();
+        self.l1.reset_stats();
+        if let Some((l0, _)) = &mut self.l0 {
+            l0.reset_stats();
+        }
+    }
+
+    pub fn queue(&self) -> &FetchQueue {
+        &self.queue
+    }
+
+    /// Direct access to the L1 directory (warm-up / inspection).
+    pub fn l1(&mut self) -> &mut SetAssocCache {
+        &mut self.l1
+    }
+
+    /// True when another predicted fetch block can be accepted this cycle.
+    pub fn has_queue_space(&self) -> bool {
+        self.queue.has_space()
+    }
+
+    /// Enqueue a predicted fetch block.
+    pub fn push_block(&mut self, seq: u64, start: Addr, len: u32) -> bool {
+        let ok = self.queue.push_block(seq, start, len);
+        if ok {
+            self.stats.blocks_pushed += 1;
+        } else {
+            self.stats.blocks_rejected += 1;
+        }
+        ok
+    }
+
+    /// Branch misprediction reached the front-end: drop queued work and
+    /// in-flight fetches; reset prestage consumers counters.  Demand
+    /// requests already in the memory system still complete and fill the
+    /// caches (useful wrong-path warmth), they just deliver nothing.
+    pub fn flush(&mut self) {
+        self.queue.flush();
+        self.inflight.clear();
+        self.piq.clear();
+        if let Some(pb) = &mut self.pb {
+            pb.on_mispredict();
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Route an L2-system completion (the engine filters by requester).
+    pub fn on_completion(&mut self, c: &Completion) {
+        let Some(route) = self.routes.remove(&c.id) else {
+            return;
+        };
+        if route.pb_fill {
+            if let Some(pb) = &mut self.pb {
+                if pb.complete(c.id).is_some() {
+                    match c.source {
+                        MemSource::L2 => self.stats.prefetch_from_l2 += 1,
+                        MemSource::Memory => self.stats.prefetch_from_mem += 1,
+                    }
+                }
+            }
+        }
+        if route.demand {
+            // Fill the emergency path: L1 always; L0 too when present.
+            self.l1.fill(c.line);
+            if let Some((l0, _)) = &mut self.l0 {
+                l0.fill(c.line);
+            }
+            let source = match c.source {
+                MemSource::L2 => FetchSource::L2,
+                MemSource::Memory => FetchSource::Mem,
+            };
+            for lf in &mut self.inflight {
+                if lf.state == LfState::WaitMem(c.id) {
+                    lf.state = LfState::Ready(c.ready_at);
+                    lf.source = source;
+                }
+            }
+        }
+    }
+
+    /// One cycle of front-end work.  `downstream_free` bounds delivered
+    /// instructions (decode-buffer backpressure).  Deliveries are appended
+    /// to `out`.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        l2: &mut L2System,
+        downstream_free: u32,
+        out: &mut Vec<Delivery>,
+    ) {
+        self.complete_l1_copies(now);
+        self.resolve_waiting_pb(now, l2);
+        self.deliver(now, downstream_free, out);
+        self.start_fetches(now, l2);
+        match self.cfg.prefetcher {
+            PrefetcherKind::None => {}
+            PrefetcherKind::Fdp => self.tick_fdp(now, l2),
+            PrefetcherKind::Clgp => self.tick_clgp(now, l2),
+            PrefetcherKind::NextLine => self.tick_nlp(now, l2),
+        }
+    }
+
+    // -- fetch path -------------------------------------------------------
+
+    fn complete_l1_copies(&mut self, now: u64) {
+        if self.l1_copies.is_empty() {
+            return;
+        }
+        let pb = self.pb.as_mut().expect("copies require a pre-buffer");
+        self.l1_copies.retain(|&(ready, id)| {
+            if ready <= now {
+                pb.complete(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn resolve_waiting_pb(&mut self, now: u64, l2: &mut L2System) {
+        let Some(pb) = &self.pb else { return };
+        let mut newly_ready = Vec::new();
+        let mut vanished = Vec::new();
+        for (i, lf) in self.inflight.iter().enumerate() {
+            if lf.state == LfState::WaitPb {
+                match pb.lookup(lf.slot.line) {
+                    PbLookup::Valid => newly_ready.push(i),
+                    PbLookup::Pending => {}
+                    // The pending entry was replaced underneath the waiter
+                    // (possible only around flush races): fall back to a
+                    // fresh storage probe so the fetch always completes.
+                    PbLookup::Miss => vanished.push(i),
+                }
+            }
+        }
+        for i in newly_ready {
+            let ready = self.pb_port.start(now);
+            self.inflight[i].state = LfState::Ready(ready);
+        }
+        for i in vanished {
+            let line = self.inflight[i].slot.line;
+            let (state, source) = self.probe_storage(line, now, l2);
+            self.inflight[i].state = state;
+            self.inflight[i].source = source;
+        }
+    }
+
+    /// Probe L0 and L1 for `line` (the pre-buffer was already consulted);
+    /// on a full miss, raise a demand request.
+    fn probe_storage(&mut self, line: Addr, now: u64, l2: &mut L2System) -> (LfState, FetchSource) {
+        let l0_hit = match &mut self.l0 {
+            Some((l0, _)) => l0.lookup(line),
+            None => false,
+        };
+        if l0_hit {
+            let (_, port) = self.l0.as_mut().unwrap();
+            let ready = port.start(now);
+            (LfState::Ready(ready), FetchSource::L0)
+        } else if self.l1.lookup(line) {
+            let ready = self.l1_port.start(now);
+            (LfState::Ready(ready), FetchSource::L1)
+        } else {
+            let tag_done = self.l1_port.start(now);
+            let req = match l2.find_pending(line) {
+                Some(r) => {
+                    l2.upgrade(r, ReqClass::IFetch);
+                    r
+                }
+                None => l2.submit(line, ReqClass::IFetch, tag_done),
+            };
+            self.routes.entry(req).or_default().demand = true;
+            (LfState::WaitMem(req), FetchSource::L2)
+        }
+    }
+
+    fn deliver(&mut self, now: u64, downstream_free: u32, out: &mut Vec<Delivery>) {
+        let width = self.cfg.fetch_width.min(downstream_free);
+        if width == 0 {
+            return;
+        }
+        let Some(head) = self.inflight.front_mut() else {
+            return;
+        };
+        let LfState::Ready(at) = head.state else {
+            return;
+        };
+        if at > now {
+            return;
+        }
+        if !head.counted {
+            head.counted = true;
+            let src = head.source;
+            let stats = &mut self.stats;
+            let c = match src {
+                FetchSource::PreBuffer => &mut stats.fetch_pb,
+                FetchSource::L0 => &mut stats.fetch_l0,
+                FetchSource::L1 => &mut stats.fetch_l1,
+                FetchSource::L2 => &mut stats.fetch_l2,
+                FetchSource::Mem => &mut stats.fetch_mem,
+            };
+            c.lines += 1;
+        }
+        let remaining = head.slot.n_insts - head.delivered;
+        let n = remaining.min(width);
+        let first_pc = head.slot.first_pc + head.delivered as u64 * INST_BYTES;
+        head.delivered += n;
+        let done = head.delivered == head.slot.n_insts;
+        let delivery = Delivery {
+            block_seq: head.slot.block_seq,
+            first_pc,
+            count: n,
+            source: head.source,
+            cycle: now,
+            completes_block: done && head.slot.last_of_block,
+        };
+        {
+            let stats = &mut self.stats;
+            let c = match head.source {
+                FetchSource::PreBuffer => &mut stats.fetch_pb,
+                FetchSource::L0 => &mut stats.fetch_l0,
+                FetchSource::L1 => &mut stats.fetch_l1,
+                FetchSource::L2 => &mut stats.fetch_l2,
+                FetchSource::Mem => &mut stats.fetch_mem,
+            };
+            c.insts += n as u64;
+        }
+        out.push(delivery);
+        if done {
+            let slot = head.slot;
+            let source = head.source;
+            self.inflight.pop_front();
+            if source == FetchSource::PreBuffer {
+                if let Some(pb) = &mut self.pb {
+                    pb.consume(slot.line);
+                    let migrate = pb.kind() == PbKind::Fdp
+                        || (self.cfg.prefetcher == PrefetcherKind::Clgp
+                            && self.cfg.ablate_migrate);
+                    if migrate {
+                        // FDP migrates used lines into the 1-cycle reach:
+                        // L0 when present (§3.1.1), else the L1.  (CLGP
+                        // only does this under the migration ablation.)
+                        match &mut self.l0 {
+                            Some((l0, _)) => {
+                                l0.fill(slot.line);
+                            }
+                            None => {
+                                self.l1.fill(slot.line);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_fetches(&mut self, now: u64, l2: &mut L2System) {
+        while self.inflight.len() < self.cfg.max_inflight {
+            // In-order fetch: a line waiting on memory (or on an in-flight
+            // prestage fill) stalls the fetch engine; only ready hits may
+            // overlap (which is what pipelined arrays exploit).  Without
+            // this, the fetch unit itself would act as a 4-deep prefetcher
+            // and mask the effect under study.
+            if self
+                .inflight
+                .iter()
+                .any(|lf| !matches!(lf.state, LfState::Ready(_)))
+            {
+                return;
+            }
+            let Some(slot) = self.queue.head_line() else {
+                return;
+            };
+            let slot = *slot;
+            let line = slot.line;
+
+            // Parallel probe: pre-buffer and L0 are the fast sources.
+            let pb_state = self.pb.as_ref().map_or(PbLookup::Miss, |pb| pb.lookup(line));
+            let (state, source) = match pb_state {
+                PbLookup::Valid | PbLookup::Pending => {
+                    // A CLTQ slot the prefetch scan never reached carries no
+                    // consumers count yet: account it now so the entry is
+                    // pinned while the fetch unit depends on it (delivery
+                    // decrements it back).
+                    if !slot.prefetched {
+                        if let Some(pb) = &mut self.pb {
+                            if pb.kind() == PbKind::Clgp {
+                                pb.bump_consumers(line);
+                            }
+                        }
+                    }
+                    if pb_state == PbLookup::Valid {
+                        let ready = self.pb_port.start(now);
+                        (LfState::Ready(ready), FetchSource::PreBuffer)
+                    } else {
+                        (LfState::WaitPb, FetchSource::PreBuffer)
+                    }
+                }
+                PbLookup::Miss => {
+                    // A blocking (non-pipelined) L1 whose port is busy:
+                    // leave L1-resident lines queued and retry next cycle
+                    // rather than commit to a far-future access slot.
+                    if self.l1.contains(line)
+                        && !self.cfg.l1_pipelined
+                        && !self.l1_port.can_start(now)
+                    {
+                        return;
+                    }
+                    self.probe_storage(line, now, l2)
+                }
+            };
+            self.queue.pop_head_line();
+            // Next-N-line prefetching triggers off every demand line fetch.
+            if self.cfg.prefetcher == PrefetcherKind::NextLine {
+                for k in 1..=self.cfg.nlp_degree as u64 {
+                    let next = line + k * self.cfg.line_bytes;
+                    if self.piq.len() < self.cfg.piq_entries && !self.piq.contains(&next) {
+                        self.piq.push_back(next);
+                    }
+                }
+            }
+            self.inflight.push_back(LineFetch {
+                slot,
+                state,
+                source,
+                delivered: 0,
+                counted: false,
+            });
+        }
+    }
+
+    // -- FDP (§3.1) -------------------------------------------------------
+
+    fn tick_fdp(&mut self, now: u64, l2: &mut L2System) {
+        // Enqueue phase: process up to two queue slots through the probe
+        // filter (the "additional tag port / replicated tags").
+        for _ in 0..2 {
+            if self.piq.len() >= self.cfg.piq_entries {
+                break;
+            }
+            let Some(pb) = &mut self.pb else { break };
+            let Some(slot) = self.queue.first_unprefetched() else {
+                break;
+            };
+            let line = slot.line;
+            slot.prefetched = true;
+            if pb.lookup(line) != PbLookup::Miss || self.piq.contains(&line) {
+                self.stats.prefetch_from_pb += 1;
+                continue;
+            }
+            // Enqueue Cache Probe Filtering: no prefetch is done if the
+            // line is already in the L1 (or the L0 when present) — the
+            // paper's §5.2.  This is exactly FDP's weakness against CLGP:
+            // L1-resident lines keep paying the multi-cycle hit.
+            if let Some((l0, _)) = &mut self.l0 {
+                if l0.probe(line) {
+                    self.stats.filtered += 1;
+                    self.stats.prefetch_from_pb += 1;
+                    continue;
+                }
+            }
+            if self.l1.probe(line) {
+                self.stats.filtered += 1;
+                self.stats.prefetch_from_l1 += 1;
+                continue;
+            }
+            self.piq.push_back(line);
+        }
+
+        // Issue phase: one prefetch per cycle from the PIQ head.
+        let Some(&line) = self.piq.front() else { return };
+        let Some(pb) = &mut self.pb else { return };
+        if pb.lookup(line) != PbLookup::Miss {
+            // Raced with a demand fill or duplicate: drop it.
+            self.piq.pop_front();
+            return;
+        }
+        if !pb.can_allocate() {
+            self.stats.pb_alloc_stalls += 1;
+            return;
+        }
+        // §3.1.1: with an L0 the prefetch request is served by the L1
+        // when the line is (rarely, post-filter) found there; otherwise —
+        // and always in base FDP — by the L2 hierarchy.
+        if self.l0.is_some() && self.l1.probe(line) {
+            let done = self.l1_copy_port.start(now);
+            let id = ReqId(self.next_synth);
+            self.next_synth += 1;
+            pb.allocate(line, id);
+            self.l1_copies.push((done, id));
+            self.stats.prefetch_from_l1 += 1;
+            self.stats.prefetches_issued += 1;
+        } else {
+            let req = match l2.find_pending(line) {
+                Some(r) => r,
+                None => l2.submit(line, ReqClass::Prefetch, now),
+            };
+            pb.allocate(line, req);
+            self.routes.entry(req).or_default().pb_fill = true;
+            self.stats.prefetches_issued += 1;
+        }
+        self.piq.pop_front();
+    }
+
+    // -- Next-N-line (related work §2.1) -----------------------------------
+
+    /// Sequential prefetching: issue one queued next-line candidate per
+    /// cycle through the same probe filter and buffer as FDP.
+    fn tick_nlp(&mut self, now: u64, l2: &mut L2System) {
+        let Some(&line) = self.piq.front() else { return };
+        let Some(pb) = &mut self.pb else { return };
+        if pb.lookup(line) != PbLookup::Miss || self.l1.probe(line) {
+            self.stats.filtered += 1;
+            self.piq.pop_front();
+            return;
+        }
+        if !pb.can_allocate() {
+            self.stats.pb_alloc_stalls += 1;
+            return;
+        }
+        let req = match l2.find_pending(line) {
+            Some(r) => r,
+            None => l2.submit(line, ReqClass::Prefetch, now),
+        };
+        pb.allocate(line, req);
+        self.routes.entry(req).or_default().pb_fill = true;
+        self.stats.prefetches_issued += 1;
+        self.piq.pop_front();
+    }
+
+    // -- CLGP (§3.2) ------------------------------------------------------
+
+    fn tick_clgp(&mut self, now: u64, l2: &mut L2System) {
+        // Scan up to four CLTQ entries; issue at most one real prefetch.
+        // No filtering: lines are brought to the prestage buffer even when
+        // they sit in the L1, because a prestage hit is cheaper than a
+        // multi-cycle L1 hit.
+        for _ in 0..4 {
+            let Some(pb) = &mut self.pb else { return };
+            let Some(slot) = self.queue.first_unprefetched() else {
+                return;
+            };
+            let line = slot.line;
+            if pb.lookup(line) != PbLookup::Miss {
+                // Already prestaged (or arriving): extend its lifetime.
+                pb.bump_consumers(line);
+                slot.prefetched = true;
+                self.stats.prefetch_from_pb += 1;
+                self.stats.consumer_bumps += 1;
+                continue;
+            }
+            // A line already one cycle away in the L0 needs no prestaging.
+            if let Some((l0, _)) = &mut self.l0 {
+                if l0.probe(line) {
+                    slot.prefetched = true;
+                    self.stats.prefetch_from_pb += 1;
+                    continue;
+                }
+            }
+            if !pb.can_allocate() {
+                // Head-of-line stall: every entry is pinned by consumers.
+                self.stats.pb_alloc_stalls += 1;
+                return;
+            }
+            slot.prefetched = true;
+            if self.cfg.ablate_filter && self.l1.probe(line) {
+                // Ablated CLGP: behave like FDP's filter — leave the line
+                // to the multi-cycle L1.
+                self.stats.filtered += 1;
+                self.stats.prefetch_from_l1 += 1;
+                continue;
+            }
+            if self.l1.probe(line) {
+                let done = self.l1_copy_port.start(now);
+                let id = ReqId(self.next_synth);
+                self.next_synth += 1;
+                pb.allocate(line, id);
+                self.l1_copies.push((done, id));
+                self.stats.prefetch_from_l1 += 1;
+            } else {
+                let req = match l2.find_pending(line) {
+                    Some(r) => r,
+                    None => l2.submit(line, ReqClass::Prefetch, now),
+                };
+                pb.allocate(line, req);
+                self.routes.entry(req).or_default().pb_fill = true;
+            }
+            self.stats.prefetches_issued += 1;
+            return; // one real prefetch per cycle
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The decoupling queue: FTQ (fetch blocks) or CLTQ (fetch cache lines).
+//!
+//! §4 of the paper: *"The queue that decouples prediction and fetch stages
+//! (FTQ in Fetch Directed Prefetching; CLTQ in Cache Line Guided
+//! Prestaging) can hold up to 8 fetch blocks. ... Although CLTQ has more
+//! entries than FTQ, both queues have the same fetch blocks stored in them,
+//! i.e. both techniques have the same opportunities to initiate new
+//! prefetches."*
+//!
+//! Both queues are therefore capacity-bounded in *fetch blocks*; the
+//! difference is granularity of bookkeeping.  This implementation
+//! materialises the per-line slots for both (each slot carries the CLTQ's
+//! `prefetched` bit; the `occupied` bit is implicit in slot liveness), so
+//! one structure serves FDP, CLGP and the no-prefetch baseline.
+
+use prestage_isa::{align_line, Addr, INST_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Presentation/bookkeeping granularity of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Fetch target queue: one logical entry per fetch block (FDP).
+    Ftq,
+    /// Cache line target queue: one entry per fetch cache line (CLGP).
+    Cltq,
+}
+
+/// One fetch cache line awaiting fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineSlot {
+    /// Sequence number of the owning fetch block.
+    pub block_seq: u64,
+    /// 64-byte-aligned line address.
+    pub line: Addr,
+    /// PC of the first instruction to fetch from this line.
+    pub first_pc: Addr,
+    /// Instructions to deliver from this line.
+    pub n_insts: u32,
+    /// CLTQ 'prefetched bit': the prefetcher has processed this slot.
+    pub prefetched: bool,
+    /// Last line of its fetch block.
+    pub last_of_block: bool,
+}
+
+#[derive(Debug, Clone)]
+struct BlockEnt {
+    seq: u64,
+    lines: VecDeque<LineSlot>,
+}
+
+/// The decoupling queue.
+#[derive(Debug, Clone)]
+pub struct FetchQueue {
+    kind: QueueKind,
+    line_bytes: u64,
+    max_blocks: usize,
+    blocks: VecDeque<BlockEnt>,
+}
+
+impl FetchQueue {
+    pub fn new(kind: QueueKind, line_bytes: u64, max_blocks: usize) -> Self {
+        assert!(line_bytes.is_power_of_two() && max_blocks >= 1);
+        FetchQueue {
+            kind,
+            line_bytes,
+            max_blocks,
+            blocks: VecDeque::with_capacity(max_blocks),
+        }
+    }
+
+    pub fn kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// True if another fetch block can be accepted.
+    pub fn has_space(&self) -> bool {
+        self.blocks.len() < self.max_blocks
+    }
+
+    /// Number of queued fetch blocks.
+    pub fn len_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of queued line slots.
+    pub fn len_lines(&self) -> usize {
+        self.blocks.iter().map(|b| b.lines.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Enqueue a predicted fetch block of `len` instructions starting at
+    /// `start`.  Returns false (and accepts nothing) when full.
+    pub fn push_block(&mut self, seq: u64, start: Addr, len: u32) -> bool {
+        if !self.has_space() || len == 0 {
+            return false;
+        }
+        let mut lines = VecDeque::new();
+        let end = start + len as u64 * INST_BYTES;
+        let mut pc = start;
+        while pc < end {
+            let line = align_line(pc, self.line_bytes);
+            let line_end = line + self.line_bytes;
+            let last_pc = end.min(line_end);
+            let n = ((last_pc - pc) / INST_BYTES) as u32;
+            lines.push_back(LineSlot {
+                block_seq: seq,
+                line,
+                first_pc: pc,
+                n_insts: n,
+                prefetched: false,
+                last_of_block: last_pc == end,
+            });
+            pc = line_end;
+        }
+        self.blocks.push_back(BlockEnt { seq, lines });
+        true
+    }
+
+    /// The next line the fetch unit should fetch (the queue head).
+    pub fn head_line(&self) -> Option<&LineSlot> {
+        self.blocks.front().and_then(|b| b.lines.front())
+    }
+
+    /// Pop the head line after the fetch unit has accepted it.
+    pub fn pop_head_line(&mut self) -> Option<LineSlot> {
+        let slot = self.blocks.front_mut()?.lines.pop_front()?;
+        if self.blocks.front().map(|b| b.lines.is_empty()) == Some(true) {
+            self.blocks.pop_front();
+        }
+        Some(slot)
+    }
+
+    /// Scan for the first slot not yet processed by the prefetcher.
+    /// Returns a mutable reference so the caller can set `prefetched`.
+    pub fn first_unprefetched(&mut self) -> Option<&mut LineSlot> {
+        self.blocks
+            .iter_mut()
+            .flat_map(|b| b.lines.iter_mut())
+            .find(|s| !s.prefetched)
+    }
+
+    /// Iterate all queued slots front to back.
+    pub fn iter_lines(&self) -> impl Iterator<Item = &LineSlot> {
+        self.blocks.iter().flat_map(|b| b.lines.iter())
+    }
+
+    /// Drop everything (branch misprediction).
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Sequence number of the newest queued block.
+    pub fn newest_seq(&self) -> Option<u64> {
+        self.blocks.back().map(|b| b.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> FetchQueue {
+        FetchQueue::new(QueueKind::Cltq, 64, 8)
+    }
+
+    #[test]
+    fn splits_blocks_into_lines() {
+        let mut q = q();
+        // 20 insts from 0x1030: bytes [0x1030, 0x1080): lines 0x1000, 0x1040.
+        assert!(q.push_block(1, 0x1030, 20));
+        assert_eq!(q.len_blocks(), 1);
+        assert_eq!(q.len_lines(), 2);
+        let slots: Vec<_> = q.iter_lines().cloned().collect();
+        assert_eq!(slots[0].line, 0x1000);
+        assert_eq!(slots[0].first_pc, 0x1030);
+        assert_eq!(slots[0].n_insts, 4);
+        assert!(!slots[0].last_of_block);
+        assert_eq!(slots[1].line, 0x1040);
+        assert_eq!(slots[1].first_pc, 0x1040);
+        assert_eq!(slots[1].n_insts, 16);
+        assert!(slots[1].last_of_block);
+    }
+
+    #[test]
+    fn capacity_counts_blocks_not_lines() {
+        let mut q = q();
+        for i in 0..8 {
+            // Each block spans 3 lines.
+            assert!(q.push_block(i, 0x2000 + i * 0x100, 48));
+        }
+        assert!(!q.has_space());
+        assert!(!q.push_block(99, 0x9000, 4));
+        assert_eq!(q.len_blocks(), 8);
+        assert_eq!(q.len_lines(), 24);
+    }
+
+    #[test]
+    fn fetch_consumes_in_order() {
+        let mut q = q();
+        q.push_block(1, 0x1000, 20); // 2 lines
+        q.push_block(2, 0x3000, 4); // 1 line
+        assert_eq!(q.head_line().unwrap().line, 0x1000);
+        let a = q.pop_head_line().unwrap();
+        assert_eq!(a.block_seq, 1);
+        let b = q.pop_head_line().unwrap();
+        assert_eq!(b.line, 0x1040);
+        assert!(b.last_of_block);
+        let c = q.pop_head_line().unwrap();
+        assert_eq!(c.block_seq, 2);
+        assert!(q.is_empty());
+        assert!(q.pop_head_line().is_none());
+    }
+
+    #[test]
+    fn popping_block_frees_capacity() {
+        let mut q = FetchQueue::new(QueueKind::Ftq, 64, 1);
+        assert!(q.push_block(1, 0x1000, 4));
+        assert!(!q.push_block(2, 0x2000, 4));
+        q.pop_head_line();
+        assert!(q.has_space());
+        assert!(q.push_block(2, 0x2000, 4));
+    }
+
+    #[test]
+    fn prefetch_scan_skips_processed() {
+        let mut q = q();
+        q.push_block(1, 0x1000, 32); // 2 lines
+        {
+            let s = q.first_unprefetched().unwrap();
+            assert_eq!(s.line, 0x1000);
+            s.prefetched = true;
+        }
+        let s = q.first_unprefetched().unwrap();
+        assert_eq!(s.line, 0x1040);
+        s.prefetched = true;
+        assert!(q.first_unprefetched().is_none());
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut q = q();
+        q.push_block(1, 0x1000, 64);
+        q.flush();
+        assert!(q.is_empty());
+        assert_eq!(q.len_lines(), 0);
+        assert!(q.head_line().is_none());
+    }
+
+    #[test]
+    fn single_line_block() {
+        let mut q = q();
+        q.push_block(7, 0x1004, 3); // [0x1004, 0x1010): one line
+        assert_eq!(q.len_lines(), 1);
+        let s = q.head_line().unwrap();
+        assert_eq!(s.n_insts, 3);
+        assert!(s.last_of_block);
+    }
+
+    #[test]
+    fn max_length_block_line_count() {
+        let mut q = q();
+        // 64 insts = 256 bytes from a line boundary = exactly 4 lines.
+        q.push_block(1, 0x4000, 64);
+        assert_eq!(q.len_lines(), 4);
+        // Misaligned start adds one line.
+        q.push_block(2, 0x5004, 64);
+        assert_eq!(q.len_lines(), 4 + 5);
+    }
+}

@@ -1,0 +1,65 @@
+//! Address arithmetic helpers.
+
+/// A byte address in the simulated machine.
+pub type Addr = u64;
+
+/// Size of one instruction in bytes (Alpha AXP: fixed 4-byte encoding).
+pub const INST_BYTES: u64 = 4;
+
+/// Align `addr` down to a `line`-byte boundary.
+///
+/// # Panics
+/// Panics (debug builds) if `line` is not a power of two.
+#[inline]
+pub fn align_line(addr: Addr, line: u64) -> Addr {
+    debug_assert!(line.is_power_of_two());
+    addr & !(line - 1)
+}
+
+/// The line number (address divided by line size) containing `addr`.
+#[inline]
+pub fn line_of(addr: Addr, line: u64) -> u64 {
+    debug_assert!(line.is_power_of_two());
+    addr >> line.trailing_zeros()
+}
+
+/// Number of `line`-byte cache lines touched by the byte range
+/// `[start, start + bytes)`.
+#[inline]
+pub fn lines_spanned(start: Addr, bytes: u64, line: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    line_of(start + bytes - 1, line) - line_of(start, line) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align() {
+        assert_eq!(align_line(0x1234, 64), 0x1200);
+        assert_eq!(align_line(0x1240, 64), 0x1240);
+        assert_eq!(align_line(0x0, 64), 0x0);
+    }
+
+    #[test]
+    fn line_numbers() {
+        assert_eq!(line_of(0, 64), 0);
+        assert_eq!(line_of(63, 64), 0);
+        assert_eq!(line_of(64, 64), 1);
+        assert_eq!(line_of(0x1000, 128), 0x20);
+    }
+
+    #[test]
+    fn span_counting() {
+        assert_eq!(lines_spanned(0, 64, 64), 1);
+        assert_eq!(lines_spanned(0, 65, 64), 2);
+        assert_eq!(lines_spanned(60, 8, 64), 2);
+        assert_eq!(lines_spanned(60, 4, 64), 1);
+        assert_eq!(lines_spanned(100, 0, 64), 0);
+        // A 17-instruction stream starting mid-line touches 2-3 lines.
+        assert_eq!(lines_spanned(32, 17 * 4, 64), 2);
+    }
+}

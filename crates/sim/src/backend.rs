@@ -1,0 +1,541 @@
+//! The out-of-order back-end: a SimpleScalar-flavoured Register Update Unit.
+//!
+//! Table 2: 4-wide issue/commit, 64-instruction RUU, 32 KB 2-way L1 D-cache
+//! with two ports and one-cycle hits, unified L2 behind the shared bus
+//! (D-cache requests have top priority), 200-cycle memory.
+//!
+//! The model is a scoreboarded window: instructions dispatch in order into
+//! the RUU, issue out of order when their source registers are ready (up to
+//! `width` per cycle, oldest first), execute with per-class latencies
+//! (loads access the D-cache; misses go through the shared L2 system), and
+//! commit in order.  Stores retire into the D-cache at issue (an idealised
+//! store buffer); dirty evictions generate writeback traffic on the L2 bus.
+//! Wrong-path instructions never enter the RUU (they only perturb the
+//! front-end and memory system), a simplification documented in DESIGN.md.
+
+use prestage_cache::{Completion, L2System, ReqClass, ReqId, SetAssocCache};
+use prestage_isa::{Addr, OpClass, Reg, StaticInst, NUM_REGS};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Back-end configuration (Table 2 defaults via [`BackendConfig::default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendConfig {
+    /// Issue and commit width.
+    pub width: u32,
+    /// RUU entries.
+    pub ruu_size: usize,
+    /// D-cache capacity in bytes.
+    pub dcache_capacity: usize,
+    pub dcache_assoc: usize,
+    pub dcache_line: usize,
+    /// D-cache ports (loads + stores per cycle).
+    pub dcache_ports: u32,
+    /// D-cache hit latency in cycles.
+    pub dcache_latency: u32,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            width: 4,
+            ruu_size: 64,
+            dcache_capacity: 32 << 10,
+            dcache_assoc: 2,
+            dcache_line: 64,
+            dcache_ports: 2,
+            dcache_latency: 1,
+        }
+    }
+}
+
+/// Back-end statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendStats {
+    pub committed: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub dcache_hits: u64,
+    pub dcache_misses: u64,
+    pub branches: u64,
+    /// Cycles in which nothing committed.
+    pub commit_stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    Waiting,
+    WaitMem(ReqId),
+    Done(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RuuEntry {
+    seq: u64,
+    op: OpClass,
+    dst: Option<Reg>,
+    mem_addr: Option<Addr>,
+    state: EState,
+    /// Per-source producer captured at dispatch: either a concrete ready
+    /// time, or the sequence number of the in-flight producer (wakeup
+    /// patches it to a time when that producer finishes).  Capturing at
+    /// dispatch avoids WAR hazards against younger writers.
+    src_time: [u64; 2],
+    src_dep: [Option<u64>; 2],
+    /// Resolving this instruction triggers a front-end redirect.
+    mispredict: bool,
+}
+
+/// Result of one back-end cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackTick {
+    pub committed_now: u32,
+    /// A mispredicted branch resolved this cycle (its dynamic sequence
+    /// number); the engine must redirect the front-end.
+    pub resolved_mispredict: Option<u64>,
+}
+
+/// The RUU back-end.
+#[derive(Debug)]
+pub struct BackEnd {
+    cfg: BackendConfig,
+    ruu: VecDeque<RuuEntry>,
+    /// Cycle at which each architectural register's value is available.
+    /// `PENDING` while the youngest producer has not yet computed it.
+    reg_ready: [u64; NUM_REGS],
+    /// Sequence number of the youngest dispatched producer per register.
+    last_writer: [u64; NUM_REGS],
+    dcache: SetAssocCache,
+    stats: BackendStats,
+    next_seq: u64,
+}
+
+/// Sentinel ready-time for values still being produced.
+const PENDING: u64 = u64::MAX >> 1;
+
+impl BackEnd {
+    pub fn new(cfg: BackendConfig) -> Self {
+        BackEnd {
+            ruu: VecDeque::with_capacity(cfg.ruu_size),
+            reg_ready: [0; NUM_REGS],
+            last_writer: [u64::MAX; NUM_REGS],
+            dcache: SetAssocCache::new(cfg.dcache_capacity, cfg.dcache_line, cfg.dcache_assoc),
+            stats: BackendStats::default(),
+            next_seq: 0,
+            cfg,
+        }
+    }
+
+    pub fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
+        self.dcache.reset_stats();
+    }
+
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// Free RUU slots.
+    pub fn free_slots(&self) -> usize {
+        self.cfg.ruu_size - self.ruu.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ruu.is_empty()
+    }
+
+    /// Dispatch one instruction into the RUU.  The caller must check
+    /// [`BackEnd::free_slots`] first.  Returns its sequence number.
+    pub fn dispatch(
+        &mut self,
+        inst: &StaticInst,
+        mem_addr: Option<Addr>,
+        mispredict: bool,
+    ) -> u64 {
+        debug_assert!(self.ruu.len() < self.cfg.ruu_size);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Capture source readiness as of dispatch (register rename):
+        // either a concrete time, or the still-executing producer's seq.
+        let mut src_time = [0u64; 2];
+        let mut src_dep = [None; 2];
+        for (k, src) in [inst.src1, inst.src2].into_iter().enumerate() {
+            if let Some(r) = src.filter(|r| !r.is_zero()) {
+                let t = self.reg_ready[r.index()];
+                if t == PENDING {
+                    src_dep[k] = Some(self.last_writer[r.index()]);
+                    src_time[k] = PENDING;
+                } else {
+                    src_time[k] = t;
+                }
+            }
+        }
+        if let Some(d) = inst.dep_dest() {
+            // The value is unavailable until this instruction executes.
+            self.last_writer[d.index()] = seq;
+            self.reg_ready[d.index()] = PENDING;
+        }
+        self.ruu.push_back(RuuEntry {
+            seq,
+            op: inst.op,
+            dst: inst.dep_dest(),
+            mem_addr,
+            state: EState::Waiting,
+            src_time,
+            src_dep,
+            mispredict,
+        });
+        seq
+    }
+
+    /// Broadcast a finished producer to every waiting consumer.
+    fn wakeup(ruu: &mut VecDeque<RuuEntry>, producer: u64, at: u64) {
+        for e in ruu.iter_mut() {
+            for k in 0..2 {
+                if e.src_dep[k] == Some(producer) {
+                    e.src_dep[k] = None;
+                    e.src_time[k] = at;
+                }
+            }
+        }
+    }
+
+    /// A D-cache miss returned from the L2 system.
+    pub fn on_completion(&mut self, c: &Completion) {
+        let last_writer = self.last_writer;
+        let mut finished = Vec::new();
+        for e in &mut self.ruu {
+            if e.state == EState::WaitMem(c.id) {
+                e.state = EState::Done(c.ready_at + 1);
+                if let Some(d) = e.dst {
+                    finished.push((e.seq, c.ready_at + 1));
+                    if last_writer[d.index()] == e.seq {
+                        self.reg_ready[d.index()] = c.ready_at + 1;
+                    }
+                }
+            }
+        }
+        for (seq, at) in finished {
+            Self::wakeup(&mut self.ruu, seq, at);
+        }
+    }
+
+    fn ready(e: &RuuEntry, now: u64) -> bool {
+        e.src_dep == [None, None] && e.src_time[0] <= now && e.src_time[1] <= now
+    }
+
+    /// One cycle: issue, then commit.
+    pub fn tick(&mut self, now: u64, l2: &mut L2System) -> BackTick {
+        // ---- Issue: oldest-first, up to width, respecting D-cache ports.
+        let mut issued = 0u32;
+        let mut dports = self.cfg.dcache_ports;
+        for i in 0..self.ruu.len() {
+            if issued >= self.cfg.width {
+                break;
+            }
+            let e = self.ruu[i];
+            if e.state != EState::Waiting || !Self::ready(&e, now) {
+                continue;
+            }
+            let done_at = match e.op {
+                OpClass::Load => {
+                    if dports == 0 {
+                        continue;
+                    }
+                    dports -= 1;
+                    self.stats.loads += 1;
+                    let addr = e.mem_addr.unwrap_or(0);
+                    if self.dcache.lookup(addr) {
+                        self.stats.dcache_hits += 1;
+                        now + 1 + self.cfg.dcache_latency as u64
+                    } else {
+                        self.stats.dcache_misses += 1;
+                        let req = match l2.find_pending(addr) {
+                            Some(r) => r,
+                            None => l2.submit(addr, ReqClass::DCache, now + 1),
+                        };
+                        // Fill (write-allocate) now; dirty victims write
+                        // back over the bus.
+                        if let Some((victim, dirty)) = self.dcache.fill(addr) {
+                            if dirty {
+                                l2.submit_writeback(victim, now + 1);
+                            }
+                        }
+                        self.ruu[i].state = EState::WaitMem(req);
+                        issued += 1;
+                        // Destination stays PENDING until completion.
+                        continue;
+                    }
+                }
+                OpClass::Store => {
+                    if dports == 0 {
+                        continue;
+                    }
+                    dports -= 1;
+                    self.stats.stores += 1;
+                    let addr = e.mem_addr.unwrap_or(0);
+                    if !self.dcache.lookup(addr) {
+                        self.stats.dcache_misses += 1;
+                        // Write-allocate: traffic only, the store itself
+                        // retires through the store buffer.
+                        if l2.find_pending(addr).is_none() {
+                            l2.submit(addr, ReqClass::DCache, now + 1);
+                        }
+                        if let Some((victim, dirty)) = self.dcache.fill(addr) {
+                            if dirty {
+                                l2.submit_writeback(victim, now + 1);
+                            }
+                        }
+                    } else {
+                        self.stats.dcache_hits += 1;
+                    }
+                    self.dcache.set_dirty(addr);
+                    now + 1
+                }
+                op => {
+                    if op.is_cti() {
+                        self.stats.branches += 1;
+                    }
+                    now + op.exec_latency() as u64
+                }
+            };
+            self.ruu[i].state = EState::Done(done_at);
+            if let Some(d) = e.dst {
+                if self.last_writer[d.index()] == e.seq {
+                    self.reg_ready[d.index()] = done_at;
+                }
+                Self::wakeup(&mut self.ruu, e.seq, done_at);
+            }
+            issued += 1;
+        }
+
+        // ---- Resolve mispredicted branches the moment they finish.
+        let mut resolved = None;
+        for e in &self.ruu {
+            if e.mispredict {
+                if let EState::Done(t) = e.state {
+                    if t <= now + 1 {
+                        resolved = Some(e.seq);
+                    }
+                }
+                break; // only the oldest unresolved mispredict matters
+            }
+        }
+        if resolved.is_some() {
+            // Clear the flag so the redirect fires exactly once.
+            for e in &mut self.ruu {
+                if Some(e.seq) == resolved {
+                    e.mispredict = false;
+                }
+            }
+        }
+
+        // ---- Commit: in order, up to width.
+        let mut committed_now = 0u32;
+        while committed_now < self.cfg.width {
+            match self.ruu.front() {
+                Some(e) => match e.state {
+                    EState::Done(t) if t <= now => {
+                        self.ruu.pop_front();
+                        committed_now += 1;
+                        self.stats.committed += 1;
+                    }
+                    _ => break,
+                },
+                None => break,
+            }
+        }
+        if committed_now == 0 {
+            self.stats.commit_stall_cycles += 1;
+        }
+
+        BackTick {
+            committed_now,
+            resolved_mispredict: resolved,
+        }
+    }
+
+    /// Warm the D-cache directory (pre-measurement warm-up).
+    pub fn warm_dcache(&mut self, addr: Addr) {
+        self.dcache.fill(addr);
+    }
+
+    pub fn dcache_stats(&self) -> &prestage_cache::CacheStats {
+        self.dcache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prestage_cache::L2Config;
+    use prestage_cacti::TechNode;
+    use prestage_isa::StaticInst;
+
+    fn l2() -> L2System {
+        L2System::new(L2Config::for_node(TechNode::T045))
+    }
+
+    fn alu(pc: Addr, dst: u8, src: u8) -> StaticInst {
+        StaticInst::plain(
+            pc,
+            OpClass::IntAlu,
+            Some(Reg::int(dst)),
+            Some(Reg::int(src)),
+            None,
+        )
+    }
+
+    /// Run until the backend drains, returning cycles taken.
+    fn drain(be: &mut BackEnd, l2sys: &mut L2System, from: u64, limit: u64) -> u64 {
+        for now in from..from + limit {
+            for c in l2sys.tick(now) {
+                be.on_completion(&c);
+            }
+            be.tick(now, l2sys);
+            if be.is_empty() {
+                return now - from;
+            }
+        }
+        panic!("backend did not drain in {limit} cycles");
+    }
+
+    #[test]
+    fn independent_alus_commit_at_full_width() {
+        let mut be = BackEnd::new(BackendConfig::default());
+        let mut l2s = l2();
+        for i in 0..8u8 {
+            be.dispatch(&alu(0x1000 + i as u64 * 4, i + 1, 30), None, false);
+        }
+        let cycles = drain(&mut be, &mut l2s, 0, 50);
+        // 8 independent single-cycle ops, width 4: ~3-4 cycles.
+        assert!(cycles <= 5, "took {cycles} cycles");
+        assert_eq!(be.committed(), 8);
+    }
+
+    #[test]
+    fn dependence_chain_serialises() {
+        let mut be = BackEnd::new(BackendConfig::default());
+        let mut l2s = l2();
+        // r1 <- r30; r2 <- r1; r3 <- r2 ... strict chain of 8.
+        for i in 0..8u8 {
+            let src = if i == 0 { 30 } else { i };
+            be.dispatch(&alu(0x1000 + i as u64 * 4, i + 1, src), None, false);
+        }
+        let cycles = drain(&mut be, &mut l2s, 0, 50);
+        assert!(cycles >= 8, "chain too fast: {cycles}");
+    }
+
+    #[test]
+    fn load_miss_waits_for_memory() {
+        let mut be = BackEnd::new(BackendConfig::default());
+        let mut l2s = l2();
+        let ld = StaticInst::plain(
+            0x1000,
+            OpClass::Load,
+            Some(Reg::int(1)),
+            Some(Reg::int(30)),
+            None,
+        );
+        be.dispatch(&ld, Some(0x4000_0000), false);
+        // Dependent consumer.
+        be.dispatch(&alu(0x1004, 2, 1), None, false);
+        let cycles = drain(&mut be, &mut l2s, 0, 400);
+        // L2 miss -> 24 + 200 cycles minimum.
+        assert!(cycles > 220, "load miss too fast: {cycles}");
+        assert_eq!(be.stats().dcache_misses, 1);
+
+        // Second load to the same line: now a hit, fast.
+        be.dispatch(&ld, Some(0x4000_0008), false);
+        let cycles2 = drain(&mut be, &mut l2s, 400, 50);
+        assert!(cycles2 < 10, "hit too slow: {cycles2}");
+        assert_eq!(be.stats().dcache_hits, 1);
+    }
+
+    #[test]
+    fn dcache_ports_limit_memory_ops() {
+        let mut be = BackEnd::new(BackendConfig::default());
+        let mut l2s = l2();
+        // 6 independent load hits; 2 ports -> at least 3 issue cycles.
+        for i in 0..6u64 {
+            be.warm_dcache(0x5000 + i * 8);
+            let ld = StaticInst::plain(
+                0x1000 + i * 4,
+                OpClass::Load,
+                Some(Reg::int(i as u8 + 1)),
+                Some(Reg::int(30)),
+                None,
+            );
+            be.dispatch(&ld, Some(0x5000 + i * 8), false);
+        }
+        let cycles = drain(&mut be, &mut l2s, 0, 50);
+        assert!(cycles >= 4, "ports not enforced: {cycles}");
+    }
+
+    #[test]
+    fn mispredict_resolution_reported_once() {
+        let mut be = BackEnd::new(BackendConfig::default());
+        let mut l2s = l2();
+        let br = StaticInst::cti(0x1000, OpClass::CondBranch, Some(0x2000));
+        let seq = be.dispatch(&br, None, true);
+        let mut seen = 0;
+        for now in 0..10 {
+            for c in l2s.tick(now) {
+                be.on_completion(&c);
+            }
+            let t = be.tick(now, &mut l2s);
+            if t.resolved_mispredict == Some(seq) {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1, "redirect must fire exactly once");
+    }
+
+    #[test]
+    fn stores_mark_lines_dirty_and_write_back() {
+        let cfg = BackendConfig {
+            dcache_capacity: 128,
+            dcache_assoc: 1,
+            ..BackendConfig::default()
+        };
+        let mut be = BackEnd::new(cfg);
+        let mut l2s = l2();
+        let st = StaticInst::plain(
+            0x1000,
+            OpClass::Store,
+            None,
+            Some(Reg::int(1)),
+            Some(Reg::int(2)),
+        );
+        be.dispatch(&st, Some(0x6000_0000), false);
+        drain(&mut be, &mut l2s, 0, 50);
+        // Conflicting store evicts the dirty line -> writeback traffic.
+        be.dispatch(&st, Some(0x6000_0080), false);
+        drain(&mut be, &mut l2s, 50, 50);
+        for now in 100..120 {
+            l2s.tick(now);
+        }
+        assert!(l2s.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn ruu_capacity_enforced() {
+        let mut be = BackEnd::new(BackendConfig::default());
+        assert_eq!(be.free_slots(), 64);
+        let mut l2s = l2();
+        // Fill with a dependence chain so nothing commits quickly.
+        be.dispatch(&alu(0x1000, 1, 30), None, false);
+        for i in 1..64u64 {
+            let s = (i % 29) as u8 + 1;
+            be.dispatch(&alu(0x1000 + i * 4, (i % 29) as u8 + 2, s), None, false);
+        }
+        assert_eq!(be.free_slots(), 0);
+        be.tick(0, &mut l2s);
+        be.tick(1, &mut l2s);
+        assert!(be.free_slots() > 0);
+    }
+}

@@ -1,0 +1,657 @@
+//! The full-system cycle engine.
+//!
+//! Ties together the stream predictor, the decoupled front-end (queue +
+//! prefetcher + fetch unit), the decode pipe and the RUU back-end, with the
+//! paper's §4 methodology: the *correct* dynamic path comes from the trace
+//! generator; the predictor runs ahead of fetch, and where its prediction
+//! diverges from the trace the front-end keeps fetching down the predicted
+//! (wrong) path through the basic-block dictionary — consuming fetch
+//! bandwidth, cache ports and bus slots — until the mispredicted branch
+//! resolves in the back-end, at which point the front-end is flushed, the
+//! predictor's speculative state (path history + RAS) is restored from its
+//! checkpoint, and fetch resumes on the correct path.
+//!
+//! Wrong-path instructions are fetched and prefetched but never dispatched
+//! into the RUU (see DESIGN.md for this simplification).
+
+use crate::backend::BackEnd;
+use crate::config::SimConfig;
+use crate::stats::SimStats;
+use prestage_bpred::{
+    FetchBlockPredictor, GsharePredictor, StreamDesc, StreamPredictor, StreamPrediction,
+};
+use prestage_cache::{L2Config, L2System, ReqClass};
+use prestage_core::{Delivery, FrontEnd};
+use prestage_isa::{Addr, INST_BYTES};
+use prestage_workload::{DynInst, TraceGenerator, Workload};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct BlockInfo {
+    /// Block start PC (the predicted fetch block's first instruction).
+    start: Addr,
+    /// Correct-path instructions of this block (empty for wrong-path
+    /// blocks; a prefix for the diverging block).
+    insts: Vec<DynInst>,
+    /// Index of the mispredicted instruction, if this block diverges.
+    mispredict_idx: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathState {
+    /// Predictions are being checked against the trace.
+    OnPath,
+    /// Fetching the predicted (wrong) path from `next_start`.
+    WrongPath { next_start: Addr },
+}
+
+#[derive(Debug)]
+struct RedirectInfo {
+    /// RUU sequence number of the mispredicted instruction, known once it
+    /// dispatches.
+    ruu_seq: Option<u64>,
+    checkpoint: PredictorCheckpoint,
+}
+
+/// Which fetch-block predictor drives the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorKind {
+    /// The paper's cascaded 1K+6K stream predictor (Table 2).
+    #[default]
+    Stream,
+    /// A 16K-entry gshare over the basic-block dictionary: the ablation
+    /// baseline quantifying how prefetching quality tracks predictor
+    /// quality (related work §2.1).
+    Gshare,
+}
+
+/// Unified predictor wrapper so one engine serves both (the trait has an
+/// associated Checkpoint type, which a trait object cannot carry).
+#[derive(Debug)]
+enum AnyPredictor {
+    Stream(StreamPredictor),
+    Gshare(GsharePredictor),
+}
+
+#[derive(Debug, Clone)]
+enum PredictorCheckpoint {
+    Stream(<StreamPredictor as FetchBlockPredictor>::Checkpoint),
+    Gshare(<GsharePredictor as FetchBlockPredictor>::Checkpoint),
+}
+
+/// Training context captured before a prediction.
+enum PredictorToken {
+    Stream(prestage_bpred::predictor::TrainToken),
+    Gshare,
+}
+
+impl AnyPredictor {
+    fn new(kind: PredictorKind) -> Self {
+        match kind {
+            PredictorKind::Stream => AnyPredictor::Stream(StreamPredictor::paper_default()),
+            PredictorKind::Gshare => AnyPredictor::Gshare(GsharePredictor::default_16k()),
+        }
+    }
+
+    fn token(&self, start: prestage_isa::Addr) -> PredictorToken {
+        match self {
+            AnyPredictor::Stream(p) => PredictorToken::Stream(p.token(start)),
+            AnyPredictor::Gshare(_) => PredictorToken::Gshare,
+        }
+    }
+
+    fn predict(&mut self, start: prestage_isa::Addr, prog: &prestage_isa::Program) -> StreamPrediction {
+        match self {
+            AnyPredictor::Stream(p) => p.predict(start, prog),
+            AnyPredictor::Gshare(p) => p.predict(start, prog),
+        }
+    }
+
+    fn train(&mut self, tok: &PredictorToken, actual: &StreamDesc, was_correct: bool) {
+        match (self, tok) {
+            (AnyPredictor::Stream(p), PredictorToken::Stream(t)) => {
+                p.train_with_token(t, actual, was_correct)
+            }
+            (AnyPredictor::Gshare(p), _) => p.train(actual),
+            _ => unreachable!("token/predictor mismatch"),
+        }
+    }
+
+    fn checkpoint(&self) -> PredictorCheckpoint {
+        match self {
+            AnyPredictor::Stream(p) => PredictorCheckpoint::Stream(p.checkpoint()),
+            AnyPredictor::Gshare(p) => PredictorCheckpoint::Gshare(p.checkpoint()),
+        }
+    }
+
+    fn restore(&mut self, cp: &PredictorCheckpoint) {
+        match (self, cp) {
+            (AnyPredictor::Stream(p), PredictorCheckpoint::Stream(c)) => p.restore(c),
+            (AnyPredictor::Gshare(p), PredictorCheckpoint::Gshare(c)) => p.restore(c),
+            _ => unreachable!("checkpoint/predictor mismatch"),
+        }
+    }
+
+    fn stats(&self) -> prestage_bpred::PredStats {
+        match self {
+            AnyPredictor::Stream(p) => *p.stats(),
+            AnyPredictor::Gshare(_) => prestage_bpred::PredStats::default(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        if let AnyPredictor::Stream(p) = self {
+            p.reset_stats();
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DecodeEntry {
+    ready: u64,
+    inst: DynInst,
+    mispredict: bool,
+}
+
+/// The full-system simulator for one (workload, configuration) pair.
+pub struct Engine<'w> {
+    cfg: SimConfig,
+    w: &'w Workload,
+    gen: TraceGenerator<'w>,
+    pred: AnyPredictor,
+    fe: FrontEnd,
+    be: BackEnd,
+    l2: L2System,
+    clock: u64,
+
+    next_seq: u64,
+    /// Truth streams waiting to be predicted (partial streams after a
+    /// mid-stream divergence resume here).
+    pending_truth: VecDeque<(StreamDesc, Vec<DynInst>)>,
+    blocks: HashMap<u64, BlockInfo>,
+    path: PathState,
+    redirect: Option<RedirectInfo>,
+    decode: VecDeque<DecodeEntry>,
+
+    redirects: u64,
+    deliveries: Vec<Delivery>,
+    buf: Vec<DynInst>,
+}
+
+impl<'w> Engine<'w> {
+    pub fn new(cfg: SimConfig, w: &'w Workload, exec_seed: u64) -> Self {
+        Self::with_predictor(cfg, w, exec_seed, PredictorKind::Stream)
+    }
+
+    /// Build an engine with an explicit fetch-block predictor (ablation).
+    pub fn with_predictor(
+        cfg: SimConfig,
+        w: &'w Workload,
+        exec_seed: u64,
+        predictor: PredictorKind,
+    ) -> Self {
+        Engine {
+            gen: TraceGenerator::new(w, exec_seed),
+            pred: AnyPredictor::new(predictor),
+            fe: FrontEnd::new(cfg.frontend),
+            be: BackEnd::new(cfg.backend),
+            l2: L2System::new(L2Config::for_node(cfg.frontend.tech)),
+            clock: 0,
+            next_seq: 0,
+            pending_truth: VecDeque::new(),
+            blocks: HashMap::new(),
+            path: PathState::OnPath,
+            redirect: None,
+            decode: VecDeque::new(),
+            redirects: 0,
+            deliveries: Vec::with_capacity(8),
+            buf: Vec::with_capacity(64),
+            cfg,
+            w,
+        }
+    }
+
+    /// Run warm-up + measurement; returns the measured-window statistics.
+    pub fn run(mut self) -> SimStats {
+        self.run_until_committed(self.cfg.warmup_insts);
+        // Reset counters; keep all warm state.
+        self.fe.reset_stats();
+        self.l2.reset_stats();
+        self.be.reset_stats();
+        self.pred.reset_stats();
+        self.redirects = 0;
+        let cycles_start = self.clock;
+
+        let target = self.cfg.measure_insts;
+        self.run_until_committed(target);
+
+        SimStats {
+            seed: self.w.seed,
+            cycles: self.clock - cycles_start,
+            committed: self.be.committed(),
+            front: *self.fe.stats(),
+            bus: *self.l2.stats(),
+            pred: self.pred.stats(),
+            backend: *self.be.stats(),
+            redirects: self.redirects,
+        }
+    }
+
+    fn run_until_committed(&mut self, target: u64) {
+        let start = self.be.committed();
+        // Generous safety valve: nothing legitimate runs below 0.01 IPC.
+        let deadline = self.clock + target * 120 + 1_000_000;
+        while self.be.committed() - start < target {
+            self.cycle();
+            assert!(
+                self.clock < deadline,
+                "simulation wedged: {} committed of {target} after {} cycles",
+                self.be.committed() - start,
+                self.clock
+            );
+        }
+    }
+
+    /// Advance the whole machine by one cycle.
+    fn cycle(&mut self) {
+        let now = self.clock;
+
+        // 1. Memory-system completions route to their requesters.
+        for c in self.l2.tick(now) {
+            match c.class {
+                ReqClass::DCache => self.be.on_completion(&c),
+                _ => self.fe.on_completion(&c),
+            }
+        }
+
+        // 2. Back-end: issue, resolve branches, commit.
+        let bt = self.be.tick(now, &mut self.l2);
+        if let Some(seq) = bt.resolved_mispredict {
+            self.do_redirect(seq);
+        }
+
+        // 3. Front-end fetch (bounded by decode-buffer space).
+        let free = self
+            .cfg
+            .decode_buffer
+            .saturating_sub(self.decode.len() as u32);
+        self.deliveries.clear();
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        self.fe.tick(now, &mut self.l2, free, &mut deliveries);
+        for d in &deliveries {
+            self.route_delivery(d);
+        }
+        self.deliveries = deliveries;
+
+        // 4. Dispatch decoded instructions into the RUU.
+        let mut width = self.cfg.backend.width;
+        while width > 0 && self.be.free_slots() > 0 {
+            match self.decode.front() {
+                Some(e) if e.ready <= now => {
+                    let e = self.decode.pop_front().unwrap();
+                    let st = self.w.program.block(e.inst.block).insts[e.inst.idx as usize];
+                    let ruu_seq = self.be.dispatch(&st, e.inst.mem_addr, e.mispredict);
+                    if e.mispredict {
+                        if let Some(r) = &mut self.redirect {
+                            r.ruu_seq = Some(ruu_seq);
+                        }
+                    }
+                    width -= 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 5. Prediction: one fetch block per cycle into the queue.
+        if self.fe.has_queue_space() {
+            self.predict_one_block();
+        }
+
+        self.clock += 1;
+    }
+
+    /// Match a front-end delivery against its block's correct-path
+    /// instructions; wrong-path deliveries evaporate here.
+    fn route_delivery(&mut self, d: &Delivery) {
+        let ready = d.cycle + self.cfg.decode_stages as u64;
+        let Some(info) = self.blocks.get(&d.block_seq) else {
+            return;
+        };
+        let base = ((d.first_pc - info.start) / INST_BYTES) as u32;
+        for k in 0..d.count {
+            let idx = base + k;
+            if let Some(di) = info.insts.get(idx as usize) {
+                self.decode.push_back(DecodeEntry {
+                    ready,
+                    inst: *di,
+                    mispredict: info.mispredict_idx == Some(idx),
+                });
+            }
+        }
+        if d.completes_block {
+            self.blocks.remove(&d.block_seq);
+        }
+    }
+
+    /// A mispredicted branch resolved in the back-end: flush and restart
+    /// the front-end on the correct path.
+    fn do_redirect(&mut self, ruu_seq: u64) {
+        let Some(r) = self.redirect.take() else {
+            return;
+        };
+        debug_assert_eq!(r.ruu_seq, Some(ruu_seq));
+        self.fe.flush();
+        self.decode.clear();
+        self.blocks.clear();
+        self.pred.restore(&r.checkpoint);
+        self.path = PathState::OnPath;
+        self.redirects += 1;
+    }
+
+    /// Generate one fetch block from the predictor and hand it to the
+    /// front-end, comparing against the trace when on the correct path.
+    fn predict_one_block(&mut self) {
+        let seq = self.next_seq;
+        match self.path {
+            PathState::WrongPath { next_start } => {
+                // Keep running down the predicted path through the
+                // dictionary: fetches/prefetches happen, nothing retires.
+                let p = self.pred.predict(next_start, &self.w.program);
+                let len = p.stream.len.max(1);
+                if self.fe.push_block(seq, p.stream.start, len) {
+                    self.next_seq += 1;
+                    self.blocks.insert(
+                        seq,
+                        BlockInfo {
+                            start: p.stream.start,
+                            insts: Vec::new(),
+                            mispredict_idx: None,
+                        },
+                    );
+                    self.path = PathState::WrongPath {
+                        next_start: p.stream.next.max(4),
+                    };
+                }
+            }
+            PathState::OnPath => {
+                // Pull the next truth stream (a partial stream first, after
+                // a mid-stream split/divergence).
+                let (actual, insts) = match self.pending_truth.pop_front() {
+                    Some(x) => x,
+                    None => {
+                        let s = self.gen.next_stream(&mut self.buf);
+                        (s, self.buf.clone())
+                    }
+                };
+                let checkpoint = self.pred.checkpoint();
+                let token = self.pred.token(actual.start);
+                let p = self.pred.predict(actual.start, &self.w.program);
+                let ps = p.stream;
+                debug_assert_eq!(ps.start, actual.start);
+
+                if ps.same_flow(&actual) {
+                    self.pred.train(&token, &actual, true);
+                    if self.fe.push_block(seq, actual.start, actual.len) {
+                        self.next_seq += 1;
+                        self.blocks.insert(
+                            seq,
+                            BlockInfo {
+                                start: actual.start,
+                                insts,
+                                mispredict_idx: None,
+                            },
+                        );
+                    } else {
+                        // Queue full: retry the same stream next cycle.
+                        self.pending_truth.push_front((actual, insts));
+                        self.pred.restore(&checkpoint);
+                    }
+                    return;
+                }
+
+                let plen = ps.len;
+                let alen = actual.len;
+                // Benign split: the predictor cut the stream short but
+                // continues sequentially — two blocks instead of one, no
+                // actual misprediction.
+                if plen < alen && ps.next == actual.start + plen as u64 * INST_BYTES {
+                    self.pred.train(&token, &actual, false);
+                    if self.fe.push_block(seq, actual.start, plen) {
+                        self.next_seq += 1;
+                        let (head, tail) = split_stream(&actual, &insts, plen);
+                        self.blocks.insert(
+                            seq,
+                            BlockInfo {
+                                start: actual.start,
+                                insts: head,
+                                mispredict_idx: None,
+                            },
+                        );
+                        self.pending_truth.push_front(tail);
+                    } else {
+                        self.pending_truth.push_front((actual, insts));
+                        self.pred.restore(&checkpoint);
+                    }
+                    return;
+                }
+
+                // Real divergence.
+                self.pred.train(&token, &actual, false);
+                if !self.fe.push_block(seq, actual.start, plen.max(1)) {
+                    self.pending_truth.push_front((actual, insts));
+                    self.pred.restore(&checkpoint);
+                    return;
+                }
+                self.next_seq += 1;
+                let (correct, mispredict_idx, tail) = if plen < alen {
+                    // Predictor broke out of the stream early: everything
+                    // it fetched is still correct path; the instruction at
+                    // the break point is the mispredicted branch, and the
+                    // correct path resumes mid-stream.
+                    let (head, tail) = split_stream(&actual, &insts, plen);
+                    (head, plen - 1, Some(tail))
+                } else {
+                    // Predictor sailed past the actual taken end (or got
+                    // the target wrong): the actual stream's instructions
+                    // are correct, its final CTI is the mispredicted one,
+                    // and anything beyond is wrong path.
+                    (insts, alen - 1, None)
+                };
+                self.blocks.insert(
+                    seq,
+                    BlockInfo {
+                        start: actual.start,
+                        insts: correct,
+                        mispredict_idx: Some(mispredict_idx),
+                    },
+                );
+                if let Some(tail) = tail {
+                    self.pending_truth.push_front(tail);
+                }
+                self.redirect = Some(RedirectInfo {
+                    ruu_seq: None,
+                    checkpoint,
+                });
+                self.path = PathState::WrongPath {
+                    next_start: ps.next.max(4),
+                };
+            }
+        }
+    }
+
+    /// Committed instructions so far (including warm-up until reset).
+    pub fn committed(&self) -> u64 {
+        self.be.committed()
+    }
+}
+
+/// Split a truth stream at instruction index `at` into (head instructions,
+/// (tail descriptor, tail instructions)).
+fn split_stream(
+    s: &StreamDesc,
+    insts: &[DynInst],
+    at: u32,
+) -> (Vec<DynInst>, (StreamDesc, Vec<DynInst>)) {
+    debug_assert!(at >= 1 && at < s.len);
+    let head = insts[..at as usize].to_vec();
+    let tail_insts = insts[at as usize..].to_vec();
+    let tail = StreamDesc {
+        start: s.start + at as u64 * INST_BYTES,
+        len: s.len - at,
+        next: s.next,
+        end: s.end,
+    };
+    (head, (tail, tail_insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConfigPreset, SimConfig};
+    use prestage_cacti::TechNode;
+    use prestage_workload::{build, specint2000};
+
+    fn tiny(name: &str) -> Workload {
+        let mut p = specint2000()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap();
+        p.i_footprint_kb = p.i_footprint_kb.min(16);
+        p.n_funcs = p.n_funcs.min(24);
+        build(&p, 42)
+    }
+
+    fn quick(preset: ConfigPreset, tech: TechNode, l1_kb: usize, w: &Workload) -> SimStats {
+        let cfg = SimConfig::preset(preset, tech, l1_kb << 10).with_insts(20_000, 60_000);
+        Engine::new(cfg, w, 7).run()
+    }
+
+    #[test]
+    fn engine_completes_and_reports_sane_ipc() {
+        let w = tiny("gzip");
+        let s = quick(ConfigPreset::Base, TechNode::T045, 8, &w);
+        assert_eq!(s.committed, 60_000 + (s.committed - 60_000)); // committed >= target
+        assert!(s.ipc() > 0.05 && s.ipc() < 4.0, "ipc {}", s.ipc());
+        assert!(s.redirects > 0, "no mispredictions at all?");
+        assert!(s.front.total_fetch_insts() >= s.committed);
+    }
+
+    #[test]
+    fn ideal_beats_base_beats_nothing() {
+        let w = tiny("vortex");
+        let base = quick(ConfigPreset::Base, TechNode::T045, 4, &w);
+        let ideal = quick(ConfigPreset::Ideal, TechNode::T045, 4, &w);
+        assert!(
+            ideal.ipc() > base.ipc(),
+            "ideal {} <= base {}",
+            ideal.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn clgp_fetches_mostly_from_prestage_buffer() {
+        let w = tiny("vortex");
+        let s = quick(ConfigPreset::Clgp, TechNode::T045, 8, &w);
+        let share = s.front.fetch_share(s.front.fetch_pb);
+        assert!(
+            share > 0.5,
+            "CLGP prestage share only {:.1}%",
+            share * 100.0
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let w = tiny("twolf");
+        let a = quick(ConfigPreset::Clgp, TechNode::T045, 8, &w);
+        let b = quick(ConfigPreset::Clgp, TechNode::T045, 8, &w);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.redirects, b.redirects);
+    }
+}
+
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::*;
+    use crate::config::{ConfigPreset, SimConfig};
+    use prestage_cacti::TechNode;
+    use prestage_workload::{build, specint2000};
+
+    fn tiny(name: &str) -> Workload {
+        let mut p = specint2000().into_iter().find(|p| p.name == name).unwrap();
+        p.i_footprint_kb = p.i_footprint_kb.min(16);
+        p.n_funcs = p.n_funcs.min(24);
+        build(&p, 42)
+    }
+
+    #[test]
+    fn fetches_cover_commits_and_redirects_match_training() {
+        let w = tiny("crafty");
+        let cfg = SimConfig::preset(ConfigPreset::ClgpL0, TechNode::T045, 4 << 10)
+            .with_insts(20_000, 60_000);
+        let s = Engine::new(cfg, &w, 7).run();
+        // Every committed instruction was fetched (plus wrong-path extras).
+        assert!(s.front.total_fetch_insts() >= s.committed);
+        // Every redirect corresponds to a trained-incorrect stream; counts
+        // are reset together at the warm-up boundary so they must be close
+        // (trained-incorrect also counts benign splits, so it dominates).
+        let wrong = s.pred.trained - s.pred.train_correct;
+        assert!(
+            s.redirects <= wrong,
+            "redirects {} exceed mispredicted streams {}",
+            s.redirects,
+            wrong
+        );
+        assert!(s.redirects > 0);
+    }
+
+    #[test]
+    fn gshare_engine_runs_and_underperforms_stream_predictor() {
+        let w = tiny("vortex");
+        let cfg = SimConfig::preset(ConfigPreset::ClgpL0, TechNode::T045, 4 << 10)
+            .with_insts(20_000, 60_000);
+        let stream = Engine::with_predictor(cfg, &w, 7, PredictorKind::Stream)
+            .run()
+            .ipc();
+        let gshare = Engine::with_predictor(cfg, &w, 7, PredictorKind::Gshare)
+            .run()
+            .ipc();
+        assert!(gshare > 0.05, "gshare engine wedged: {gshare}");
+        assert!(
+            stream > gshare,
+            "stream predictor should win: {stream} vs {gshare}"
+        );
+    }
+
+    #[test]
+    fn warmup_reset_isolates_measurement_window() {
+        // A longer warm-up must not inflate measured cycles/instructions.
+        let w = tiny("gzip");
+        let short = SimConfig::preset(ConfigPreset::Base, TechNode::T090, 4 << 10)
+            .with_insts(5_000, 30_000);
+        let long = short.with_insts(30_000, 30_000);
+        let a = Engine::new(short, &w, 7).run();
+        let b = Engine::new(long, &w, 7).run();
+        assert!(a.committed >= 30_000 && b.committed >= 30_000);
+        // Warmed caches: the long warm-up run must not be slower by much.
+        assert!(b.ipc() > 0.8 * a.ipc());
+    }
+
+    #[test]
+    fn bus_priority_visible_in_grant_mix() {
+        // mcf's D-side must dominate bus grants (DCache > IFetch priority
+        // plus sheer volume).
+        let w = tiny("mcf");
+        let cfg = SimConfig::preset(ConfigPreset::Clgp, TechNode::T045, 4 << 10)
+            .with_insts(10_000, 40_000);
+        let s = Engine::new(cfg, &w, 7).run();
+        assert!(
+            s.bus.grants_dcache > s.bus.grants_ifetch,
+            "expected D-side to dominate: {:?}",
+            s.bus
+        );
+    }
+}

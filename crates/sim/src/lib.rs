@@ -1,0 +1,32 @@
+//! # prestage-sim
+//!
+//! The full-system, trace-driven timing simulator of the fetch-prestaging
+//! reproduction: Table 2's processor (4-wide fetch/issue/commit, 64-entry
+//! RUU, 15-stage pipeline, 32 KB L1-D, unified 1 MB L2, 200-cycle memory)
+//! around the [`prestage_core`] front-end, with wrong-path execution through
+//! the basic-block dictionary and speculative branch-predictor state with
+//! checkpoint/repair — the methodology of §4 of the paper.
+//!
+//! * [`backend`] — the RUU-based out-of-order back-end (scoreboarded issue,
+//!   D-cache with two ports, in-order commit).
+//! * [`engine`] — the cycle loop tying predictor → queue → prefetcher →
+//!   fetch → decode → RUU together, including divergence detection and
+//!   misprediction redirects.
+//! * [`config`] — [`SimConfig`] plus presets for **every configuration in
+//!   the paper's evaluation**: `base`, `base+L0`, `base pipelined`, `ideal`,
+//!   `FDP(+L0)(+PB16)`, `CLGP(+L0)(+PB16)` at both technology nodes.
+//! * [`stats`] — run statistics and aggregation (harmonic means, source
+//!   distributions for Figures 7/8).
+//! * [`runner`] — parallel sweep execution across benchmarks × configs.
+
+pub mod backend;
+pub mod config;
+pub mod engine;
+pub mod runner;
+pub mod stats;
+
+pub use backend::{BackEnd, BackendConfig, BackendStats};
+pub use config::{ConfigPreset, SimConfig};
+pub use engine::{Engine, PredictorKind};
+pub use runner::{run_config_over, run_grid, run_one, GridResult};
+pub use stats::{harmonic_mean, SimStats};

@@ -1,0 +1,123 @@
+//! Parallel sweep execution: benchmarks × configurations grids.
+//!
+//! The paper's figures are IPC sweeps over (preset, L1 size, node) for all
+//! twelve SPECint2000 benchmarks, harmonically aggregated.  [`run_grid`]
+//! executes such a grid with crossbeam scoped threads — every cell is an
+//! independent deterministic simulation, so the grid parallelises
+//! embarrassingly.
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::stats::{harmonic_mean, SimStats};
+use prestage_workload::{build, BenchmarkProfile, Workload};
+
+/// Result of one grid cell: per-benchmark stats plus the harmonic-mean IPC.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// Per-benchmark (name, stats) in input order.
+    pub per_bench: Vec<(String, SimStats)>,
+}
+
+impl GridResult {
+    /// Harmonic mean of per-benchmark IPC (the paper's aggregate).
+    pub fn hmean_ipc(&self) -> f64 {
+        let v: Vec<f64> = self.per_bench.iter().map(|(_, s)| s.ipc()).collect();
+        harmonic_mean(&v)
+    }
+
+    /// IPC for a given benchmark name.
+    pub fn ipc_of(&self, name: &str) -> Option<f64> {
+        self.per_bench
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.ipc())
+    }
+}
+
+/// Build a workload and run one configuration over it.
+pub fn run_one(cfg: SimConfig, profile: &BenchmarkProfile, seed: u64) -> SimStats {
+    let w = build(profile, seed);
+    Engine::new(cfg, &w, seed).run()
+}
+
+/// Run `cfg` over pre-built workloads in parallel; order preserved.
+pub fn run_config_over(cfg: SimConfig, workloads: &[Workload], exec_seed: u64) -> GridResult {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(workloads.len())
+        .max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, SimStats)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= workloads.len() {
+                    break;
+                }
+                let stats = Engine::new(cfg, &workloads[i], exec_seed).run();
+                tx.send((i, stats)).expect("collector alive");
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(tx);
+    let mut per_bench: Vec<Option<(String, SimStats)>> = vec![None; workloads.len()];
+    for (i, stats) in rx {
+        per_bench[i] = Some((workloads[i].profile.name.to_string(), stats));
+    }
+    GridResult {
+        per_bench: per_bench
+            .into_iter()
+            .map(|x| x.expect("cell filled"))
+            .collect(),
+    }
+}
+
+/// Run a whole grid: for each config, all workloads. Returns one
+/// [`GridResult`] per config, input order.
+pub fn run_grid(configs: &[SimConfig], workloads: &[Workload], exec_seed: u64) -> Vec<GridResult> {
+    configs
+        .iter()
+        .map(|c| run_config_over(*c, workloads, exec_seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConfigPreset, SimConfig};
+    use prestage_cacti::TechNode;
+    use prestage_workload::specint2000;
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let mut profiles = specint2000();
+        profiles.truncate(3);
+        let workloads: Vec<_> = profiles
+            .iter_mut()
+            .map(|p| {
+                p.i_footprint_kb = p.i_footprint_kb.min(8);
+                p.n_funcs = p.n_funcs.min(12);
+                build(p, 5)
+            })
+            .collect();
+        let cfg = SimConfig::preset(ConfigPreset::Base, TechNode::T090, 4 << 10)
+            .with_insts(5_000, 20_000);
+        let par = run_config_over(cfg, &workloads, 3);
+        // Serial reference.
+        let serial: Vec<f64> = workloads
+            .iter()
+            .map(|w| Engine::new(cfg, w, 3).run().ipc())
+            .collect();
+        for ((_, s), ser) in par.per_bench.iter().zip(serial) {
+            assert!((s.ipc() - ser).abs() < 1e-12);
+        }
+        assert!(par.hmean_ipc() > 0.0);
+        assert!(par.ipc_of(workloads[0].profile.name).is_some());
+        assert!(par.ipc_of("nonesuch").is_none());
+    }
+}

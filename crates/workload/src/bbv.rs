@@ -1,0 +1,243 @@
+//! Basic-block-vector profiling and SimPoint-style slice selection.
+//!
+//! The paper simulates "the most representative 300 million instruction
+//! slices following the idea presented in [18]" (Sherwood, Perelman,
+//! Calder — *Basic block distribution analysis*, PACT'01).  This module
+//! reproduces that pipeline at our scale: execution is profiled into
+//! per-interval basic-block vectors, the vectors are random-projected to a
+//! small dimension, clustered with k-means, and the medoid interval of the
+//! largest cluster is the representative slice.
+
+use crate::codegen::Workload;
+use crate::exec::TraceGenerator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Projected dimensionality (SimPoint uses 15; we keep a little more).
+pub const PROJECTED_DIMS: usize = 24;
+
+/// One profiling interval's (projected, normalised) basic-block vector.
+pub type Bbv = [f32; PROJECTED_DIMS];
+
+/// Profile `n_intervals` intervals of `interval_insts` instructions each.
+pub fn collect_bbvs(
+    w: &Workload,
+    exec_seed: u64,
+    interval_insts: u64,
+    n_intervals: usize,
+) -> Vec<Bbv> {
+    // Deterministic random projection: each block id hashes to a dimension
+    // and a sign.
+    let project = |block: u32| -> (usize, f32) {
+        let h = (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let dim = (h >> 8) as usize % PROJECTED_DIMS;
+        let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+        (dim, sign)
+    };
+
+    let mut gen = TraceGenerator::new(w, exec_seed);
+    let mut out = Vec::with_capacity(n_intervals);
+    let mut buf = Vec::new();
+    for _ in 0..n_intervals {
+        let mut v = [0f32; PROJECTED_DIMS];
+        let mut count = 0u64;
+        while count < interval_insts {
+            let s = gen.next_stream(&mut buf);
+            count += s.len as u64;
+            for di in &buf {
+                let (dim, sign) = project(di.block.0);
+                v[dim] += sign;
+            }
+        }
+        // L2-normalise so intervals of slightly different lengths compare.
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        v.iter_mut().for_each(|x| *x /= norm);
+        out.push(v);
+    }
+    out
+}
+
+fn dist2(a: &Bbv, b: &Bbv) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means over BBVs; returns per-point cluster assignments.
+pub fn kmeans(points: &[Bbv], k: usize, iters: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 1 && !points.is_empty());
+    let k = k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Forgy init: k distinct random points.
+    let mut centroid_idx: Vec<usize> = (0..points.len()).collect();
+    for i in (1..centroid_idx.len()).rev() {
+        centroid_idx.swap(i, rng.gen_range(0..=i));
+    }
+    let mut centroids: Vec<Bbv> = centroid_idx[..k].iter().map(|&i| points[i]).collect();
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assignment step.
+        let mut changed = false;
+        for (pi, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            if assign[pi] != best {
+                assign[pi] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![[0f32; PROJECTED_DIMS]; k];
+        let mut counts = vec![0usize; k];
+        for (pi, p) in points.iter().enumerate() {
+            let c = assign[pi];
+            counts[c] += 1;
+            for d in 0..PROJECTED_DIMS {
+                sums[c][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..PROJECTED_DIMS {
+                    centroids[c][d] = sums[c][d] / counts[c] as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assign
+}
+
+/// Pick the representative interval: the medoid of the most populous
+/// cluster (the interval closest to that cluster's centroid).
+pub fn pick_simpoint(points: &[Bbv], assign: &[usize]) -> usize {
+    assert_eq!(points.len(), assign.len());
+    let k = assign.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; k];
+    for &a in assign {
+        counts[a] += 1;
+    }
+    let big = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap();
+    // Centroid of the big cluster.
+    let mut centroid = [0f32; PROJECTED_DIMS];
+    for (p, &a) in points.iter().zip(assign) {
+        if a == big {
+            for d in 0..PROJECTED_DIMS {
+                centroid[d] += p[d];
+            }
+        }
+    }
+    let n = counts[big] as f32;
+    centroid.iter_mut().for_each(|x| *x /= n);
+    points
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| assign[i] == big)
+        .min_by(|&(_, a), &(_, b)| {
+            dist2(a, &centroid)
+                .partial_cmp(&dist2(b, &centroid))
+                .unwrap()
+        })
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+/// Full pipeline: profile, cluster, select.  Returns the chosen interval
+/// index (its instructions start at `index * interval_insts`).
+pub fn select_slice(
+    w: &Workload,
+    exec_seed: u64,
+    interval_insts: u64,
+    n_intervals: usize,
+    k: usize,
+) -> usize {
+    let bbvs = collect_bbvs(w, exec_seed, interval_insts, n_intervals);
+    let assign = kmeans(&bbvs, k, 50, 0x51D_0A11);
+    pick_simpoint(&bbvs, &assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build;
+    use crate::profile::by_name;
+
+    fn small_workload() -> Workload {
+        let mut p = by_name("gzip").unwrap();
+        p.i_footprint_kb = 2;
+        p.n_funcs = 6;
+        build(&p, 11)
+    }
+
+    #[test]
+    fn bbvs_are_normalised() {
+        let w = small_workload();
+        let v = collect_bbvs(&w, 1, 5_000, 8);
+        assert_eq!(v.len(), 8);
+        for bbv in &v {
+            let n: f32 = bbv.iter().map(|x| x * x).sum();
+            assert!((n - 1.0).abs() < 1e-3, "norm {n}");
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        // Two synthetic blobs.
+        let mut pts: Vec<Bbv> = Vec::new();
+        for i in 0..10 {
+            let mut a = [0f32; PROJECTED_DIMS];
+            a[0] = 1.0 + (i as f32) * 1e-3;
+            pts.push(a);
+            let mut b = [0f32; PROJECTED_DIMS];
+            b[1] = -1.0 - (i as f32) * 1e-3;
+            pts.push(b);
+        }
+        let assign = kmeans(&pts, 2, 20, 42);
+        // All even indices together, all odd together.
+        let a0 = assign[0];
+        let b0 = assign[1];
+        assert_ne!(a0, b0);
+        for i in 0..10 {
+            assert_eq!(assign[2 * i], a0);
+            assert_eq!(assign[2 * i + 1], b0);
+        }
+    }
+
+    #[test]
+    fn simpoint_picks_from_largest_cluster() {
+        let mut pts: Vec<Bbv> = Vec::new();
+        // 8 points near e0, 2 points near e1.
+        for i in 0..8 {
+            let mut a = [0f32; PROJECTED_DIMS];
+            a[0] = 1.0 + i as f32 * 0.01;
+            pts.push(a);
+        }
+        for _ in 0..2 {
+            let mut b = [0f32; PROJECTED_DIMS];
+            b[1] = 1.0;
+            pts.push(b);
+        }
+        let assign = kmeans(&pts, 2, 20, 7);
+        let rep = pick_simpoint(&pts, &assign);
+        assert!(rep < 8, "representative {rep} not from the large cluster");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let w = small_workload();
+        let a = select_slice(&w, 3, 5_000, 10, 3);
+        let b = select_slice(&w, 3, 5_000, 10, 3);
+        assert_eq!(a, b);
+        assert!(a < 10);
+    }
+}

@@ -1,0 +1,397 @@
+//! Deterministic dynamic execution of a generated workload.
+//!
+//! [`TraceGenerator`] walks the static program, evaluating each conditional
+//! branch's [`BranchModel`](crate::BranchModel) and each memory
+//! instruction's [`MemModel`](crate::MemModel) with a seeded RNG, and yields
+//! the committed path as a sequence of **instruction streams** (the fetch
+//! entities of the decoupled front-end): maximal sequential runs terminated
+//! by a taken control transfer, capped at the front-end's maximum
+//! fetch-block length.
+//!
+//! The same `(workload, seed)` pair always produces the identical dynamic
+//! instruction sequence, so every simulator configuration in a sweep
+//! consumes exactly the same trace — the property that makes the paper's
+//! config-vs-config IPC comparisons meaningful.
+
+use crate::codegen::{BranchModel, MemModel, Workload};
+use prestage_bpred::{StreamDesc, StreamEnd, MAX_STREAM_INSTS};
+use prestage_isa::{Addr, BlockId, OpClass, Terminator, INST_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One dynamically executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynInst {
+    pub pc: Addr,
+    pub op: OpClass,
+    /// Enclosing basic block (index into the program's dictionary).
+    pub block: BlockId,
+    /// Index of this instruction within its block.
+    pub idx: u16,
+    /// Outcome for conditional branches (`false` otherwise).
+    pub taken: bool,
+    /// Address of the next executed instruction.
+    pub next_pc: Addr,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<Addr>,
+}
+
+/// Per-static-branch dynamic state.
+#[derive(Debug, Clone, Copy, Default)]
+struct BranchState {
+    iter: u32,
+    cur_trip: u32,
+    pattern_pos: u8,
+}
+
+/// Deterministic executor producing the committed instruction stream.
+#[derive(Debug)]
+pub struct TraceGenerator<'w> {
+    w: &'w Workload,
+    rng: SmallRng,
+    pc: Addr,
+    call_stack: Vec<Addr>,
+    branch_state: Vec<BranchState>,
+    /// Visit counters for strided memory sites, keyed `block << 16 | idx`.
+    mem_visits: HashMap<u64, u32>,
+    /// Maximum instructions per emitted stream.
+    max_stream: u32,
+    emitted: u64,
+}
+
+impl<'w> TraceGenerator<'w> {
+    /// Start executing `w` from its entry point.  `seed` controls branch
+    /// outcomes and memory addresses (independently of the codegen seed).
+    pub fn new(w: &'w Workload, seed: u64) -> Self {
+        TraceGenerator {
+            rng: SmallRng::seed_from_u64(seed ^ 0x7ACE_7ACE),
+            pc: w.program.entry(),
+            call_stack: Vec::with_capacity(32),
+            branch_state: vec![BranchState::default(); w.program.num_blocks()],
+            mem_visits: HashMap::new(),
+            max_stream: MAX_STREAM_INSTS,
+            w,
+            emitted: 0,
+        }
+    }
+
+    /// Total instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Current call depth (RAS pressure indicator).
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    fn mem_addr(&mut self, block: BlockId, idx: u16, model: &MemModel) -> Addr {
+        match *model {
+            MemModel::Stride { base, stride, span } => {
+                let key = (block.0 as u64) << 16 | idx as u64;
+                let k = self.mem_visits.entry(key).or_insert(0);
+                let addr = base + (*k as u64 * stride as u64) % span as u64;
+                *k = k.wrapping_add(1);
+                addr & !7
+            }
+            MemModel::Random { base, mask } => (base + (self.rng.gen::<u64>() & mask)) & !7,
+            MemModel::Stack { base, mask } => (base + (self.rng.gen::<u64>() & mask)) & !7,
+        }
+    }
+
+    fn eval_branch(&mut self, block: BlockId, model: &BranchModel) -> bool {
+        let st = &mut self.branch_state[block.0 as usize];
+        match *model {
+            BranchModel::Bias { p_taken } => self.rng.gen::<f64>() < p_taken,
+            BranchModel::Loop { trip } => {
+                st.iter += 1;
+                if st.iter < trip {
+                    true
+                } else {
+                    st.iter = 0;
+                    false
+                }
+            }
+            BranchModel::LoopVar { min, max } => {
+                if st.cur_trip == 0 {
+                    st.cur_trip = self.rng.gen_range(min..=max);
+                }
+                st.iter += 1;
+                if st.iter < st.cur_trip {
+                    true
+                } else {
+                    st.iter = 0;
+                    st.cur_trip = 0;
+                    false
+                }
+            }
+            BranchModel::Pattern { bits, len } => {
+                let taken = (bits >> st.pattern_pos) & 1 == 1;
+                st.pattern_pos = (st.pattern_pos + 1) % len;
+                taken
+            }
+        }
+    }
+
+    /// Produce the next stream into `out` (cleared first); returns its
+    /// descriptor.  Never returns an empty stream.
+    pub fn next_stream(&mut self, out: &mut Vec<DynInst>) -> StreamDesc {
+        out.clear();
+        let start = self.pc;
+        loop {
+            let block = self
+                .w
+                .program
+                .block_at(self.pc)
+                .unwrap_or_else(|| panic!("executed off the program image at {:#x}", self.pc));
+            let bid = block.id;
+            let first = ((self.pc - block.start) / INST_BYTES) as usize;
+            // Payload instructions (everything before any terminator CTI).
+            for ii in first..block.len() {
+                if out.len() as u32 == self.max_stream {
+                    // Sequential break: close the stream mid-block.
+                    self.emitted += out.len() as u64;
+                    return StreamDesc {
+                        start,
+                        len: out.len() as u32,
+                        next: self.pc,
+                        end: StreamEnd::SequentialBreak,
+                    };
+                }
+                let inst = &block.insts[ii];
+                let is_cti = inst.op.is_cti();
+                if !is_cti {
+                    let mem_addr = if inst.op.is_mem() {
+                        let model = self
+                            .w
+                            .control_of(bid)
+                            .mem
+                            .iter()
+                            .find(|&&(mi, _)| mi as usize == ii)
+                            .map(|&(_, m)| m)
+                            .unwrap_or(MemModel::Stack {
+                                base: crate::codegen::STACK_BASE,
+                                mask: 0xFFF,
+                            });
+                        Some(self.mem_addr(bid, ii as u16, &model))
+                    } else {
+                        None
+                    };
+                    out.push(DynInst {
+                        pc: inst.pc,
+                        op: inst.op,
+                        block: bid,
+                        idx: ii as u16,
+                        taken: false,
+                        next_pc: inst.pc + INST_BYTES,
+                        mem_addr,
+                    });
+                    self.pc = inst.pc + INST_BYTES;
+                    continue;
+                }
+
+                // Terminator CTI: decide the continuation.
+                let (taken, next, end) = match block.term {
+                    Terminator::CondBranch { taken, not_taken } => {
+                        let model = self
+                            .w
+                            .control_of(bid)
+                            .branch
+                            .expect("cond branch without model");
+                        let t = self.eval_branch(bid, &model);
+                        if t {
+                            (true, taken, Some(StreamEnd::Taken))
+                        } else {
+                            (false, not_taken, None)
+                        }
+                    }
+                    Terminator::Jump { target } => (true, target, Some(StreamEnd::Taken)),
+                    Terminator::Call { target, link } => {
+                        self.call_stack.push(link);
+                        (true, target, Some(StreamEnd::Call))
+                    }
+                    Terminator::Return => {
+                        let ret = self
+                            .call_stack
+                            .pop()
+                            .unwrap_or_else(|| self.w.program.entry());
+                        (true, ret, Some(StreamEnd::Return))
+                    }
+                    Terminator::FallThrough { .. } => {
+                        unreachable!("CTI inside a fall-through block")
+                    }
+                };
+                out.push(DynInst {
+                    pc: inst.pc,
+                    op: inst.op,
+                    block: bid,
+                    idx: ii as u16,
+                    taken,
+                    next_pc: next,
+                    mem_addr: None,
+                });
+                self.pc = next;
+                if let Some(end) = end {
+                    self.emitted += out.len() as u64;
+                    return StreamDesc {
+                        start,
+                        len: out.len() as u32,
+                        next,
+                        end,
+                    };
+                }
+                // Not-taken conditional: the stream continues in the
+                // fall-through block.
+            }
+            // Fall-through block boundary: continue into the next block.
+            if let Terminator::FallThrough { next } = block.term {
+                self.pc = next;
+            }
+        }
+    }
+
+    /// Convenience: run forward, collecting `n` instructions (streams are
+    /// kept whole, so slightly more may be returned).
+    pub fn take_insts(&mut self, n: u64) -> Vec<DynInst> {
+        let mut all = Vec::with_capacity(n as usize + 64);
+        let mut buf = Vec::with_capacity(MAX_STREAM_INSTS as usize);
+        while (all.len() as u64) < n {
+            self.next_stream(&mut buf);
+            all.extend_from_slice(&buf);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build;
+    use crate::profile::by_name;
+
+    fn small_workload() -> Workload {
+        let mut p = by_name("gzip").unwrap();
+        p.i_footprint_kb = 2;
+        p.n_funcs = 6;
+        build(&p, 11)
+    }
+
+    #[test]
+    fn streams_are_well_formed() {
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 1);
+        let mut buf = Vec::new();
+        for _ in 0..500 {
+            let s = t.next_stream(&mut buf);
+            assert_eq!(s.len as usize, buf.len());
+            assert!(s.len >= 1 && s.len <= MAX_STREAM_INSTS);
+            assert_eq!(s.start, buf[0].pc);
+            // Sequential PCs inside the stream.
+            for w2 in buf.windows(2) {
+                assert_eq!(w2[0].pc + 4, w2[1].pc);
+                assert_eq!(w2[0].next_pc, w2[1].pc);
+            }
+            assert_eq!(buf.last().unwrap().next_pc, s.next);
+            // The next stream begins where this one pointed.
+            let s2 = t.next_stream(&mut buf);
+            assert_eq!(s2.start, s.next);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = small_workload();
+        let mut a = TraceGenerator::new(&w, 5);
+        let mut b = TraceGenerator::new(&w, 5);
+        let ia = a.take_insts(20_000);
+        let ib = b.take_insts(20_000);
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn different_exec_seeds_diverge() {
+        let w = small_workload();
+        let mut a = TraceGenerator::new(&w, 5);
+        let mut b = TraceGenerator::new(&w, 6);
+        let ia = a.take_insts(20_000);
+        let ib = b.take_insts(20_000);
+        assert_ne!(ia, ib);
+    }
+
+    #[test]
+    fn memory_instructions_carry_addresses() {
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 3);
+        let insts = t.take_insts(50_000);
+        let mems: Vec<_> = insts.iter().filter(|i| i.op.is_mem()).collect();
+        assert!(!mems.is_empty());
+        assert!(mems.iter().all(|i| i.mem_addr.is_some()));
+        assert!(insts
+            .iter()
+            .filter(|i| !i.op.is_mem())
+            .all(|i| i.mem_addr.is_none()));
+        // 8-byte aligned addresses.
+        assert!(mems.iter().all(|i| i.mem_addr.unwrap() % 8 == 0));
+    }
+
+    #[test]
+    fn executes_calls_and_returns_balanced() {
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 3);
+        let insts = t.take_insts(100_000);
+        let calls = insts.iter().filter(|i| i.op == OpClass::Call).count();
+        let rets = insts.iter().filter(|i| i.op == OpClass::Return).count();
+        assert!(calls > 0, "no calls executed");
+        // Stack never leaks: returns track calls closely.
+        assert!((calls as i64 - rets as i64).unsigned_abs() as usize <= t.call_depth() + 1);
+        assert!(t.call_depth() <= w.profile.n_levels as usize);
+    }
+
+    #[test]
+    fn branch_mix_has_takens_and_fallthroughs() {
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 3);
+        let insts = t.take_insts(100_000);
+        let conds: Vec<_> = insts
+            .iter()
+            .filter(|i| i.op == OpClass::CondBranch)
+            .collect();
+        assert!(!conds.is_empty());
+        let taken = conds.iter().filter(|i| i.taken).count();
+        let frac = taken as f64 / conds.len() as f64;
+        assert!(
+            frac > 0.2 && frac < 0.95,
+            "degenerate taken fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn loop_models_produce_multiple_iterations() {
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 3);
+        let insts = t.take_insts(50_000);
+        // Dynamic/static ratio must show real reuse (loops executing).
+        let mut uniq = std::collections::HashSet::new();
+        for i in &insts {
+            uniq.insert(i.pc);
+        }
+        let reuse = insts.len() as f64 / uniq.len() as f64;
+        assert!(reuse > 5.0, "no loop reuse: ratio {reuse}");
+    }
+
+    #[test]
+    fn all_benchmarks_execute() {
+        for p in crate::profile::specint2000() {
+            let mut p = p;
+            // Shrink for test speed but keep structure.
+            p.i_footprint_kb = p.i_footprint_kb.min(32);
+            p.n_funcs = p.n_funcs.min(48);
+            let w = build(&p, 17);
+            let mut t = TraceGenerator::new(&w, 17);
+            let insts = t.take_insts(30_000);
+            assert!(insts.len() >= 30_000, "{}", p.name);
+        }
+    }
+}

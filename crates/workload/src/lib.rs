@@ -1,0 +1,48 @@
+//! # prestage-workload
+//!
+//! Synthetic SPECint2000-like workloads for the fetch-prestaging
+//! reproduction.
+//!
+//! ## Why synthetic
+//!
+//! The paper simulates 300M-instruction representative slices of the twelve
+//! SPECint2000 benchmarks compiled for Alpha AXP-21264.  Those traces are
+//! proprietary and unavailable, so this crate *generates* a stand-in per
+//! benchmark: a static program (a layered weighted call DAG of functions
+//! made of loops, diamonds and straight-line blocks, with realistic
+//! instruction mixes and register dependence chains) plus a deterministic
+//! dynamic execution through it.
+//!
+//! The generator is parameterised by the first-order characteristics that
+//! actually drive instruction-prefetch results:
+//!
+//! * **instruction footprint** (hot code size vs. I-cache size),
+//! * **branch predictability** (the flush rate of the decoupled front-end),
+//! * **basic-block / stream lengths** (fetch-block geometry),
+//! * **data-side behaviour** (D-cache miss traffic competing for the L2
+//!   bus).
+//!
+//! Per-benchmark parameter sets live in [`profile::specint2000`], with
+//! values chosen to echo the published character of each benchmark (e.g.
+//! `gcc`'s large code footprint, `mcf`'s tiny code but memory-bound data
+//! side, `eon`'s highly predictable long blocks).
+//!
+//! ## Module map
+//!
+//! * [`profile`] — tunable benchmark profiles + the SPECint2000 set.
+//! * [`codegen`] — static program synthesis ([`build`]).
+//! * [`exec`] — [`TraceGenerator`]: deterministic dynamic execution
+//!   yielding instruction streams.
+//! * [`bbv`] — basic-block-vector profiling and a small k-means SimPoint
+//!   (the paper's [18]) for representative-slice selection.
+//! * [`trace_io`] — compact binary save/load of generated streams.
+
+pub mod bbv;
+pub mod codegen;
+pub mod exec;
+pub mod profile;
+pub mod trace_io;
+
+pub use codegen::{build, BranchModel, MemModel, Workload};
+pub use exec::{DynInst, TraceGenerator};
+pub use profile::{specint2000, BenchmarkProfile};

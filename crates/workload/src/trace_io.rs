@@ -1,0 +1,176 @@
+//! Compact binary trace serialisation.
+//!
+//! Traces can be captured once and replayed into the simulator, mirroring
+//! the paper's trace-driven methodology (their traces were collected ahead
+//! of time from Alpha binaries).  The format is a fixed-width little-endian
+//! record stream with a small header; no external serialisation crates are
+//! needed and round-trips are exact.
+
+use crate::exec::DynInst;
+use prestage_isa::{BlockId, OpClass};
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: [u8; 4] = *b"PSTR";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+fn op_to_u8(op: OpClass) -> u8 {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpAlu => 2,
+        OpClass::FpMul => 3,
+        OpClass::Load => 4,
+        OpClass::Store => 5,
+        OpClass::CondBranch => 6,
+        OpClass::Jump => 7,
+        OpClass::Call => 8,
+        OpClass::Return => 9,
+    }
+}
+
+fn op_from_u8(x: u8) -> io::Result<OpClass> {
+    Ok(match x {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpAlu,
+        3 => OpClass::FpMul,
+        4 => OpClass::Load,
+        5 => OpClass::Store,
+        6 => OpClass::CondBranch,
+        7 => OpClass::Jump,
+        8 => OpClass::Call,
+        9 => OpClass::Return,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad opclass byte {other}"),
+            ))
+        }
+    })
+}
+
+/// Write a trace (any slice of dynamic instructions) to `w`.
+pub fn write_trace<W: Write>(mut w: W, insts: &[DynInst]) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(insts.len() as u64).to_le_bytes())?;
+    for i in insts {
+        w.write_all(&i.pc.to_le_bytes())?;
+        w.write_all(&[op_to_u8(i.op)])?;
+        w.write_all(&i.block.0.to_le_bytes())?;
+        w.write_all(&i.idx.to_le_bytes())?;
+        let flags = i.taken as u8 | (i.mem_addr.is_some() as u8) << 1;
+        w.write_all(&[flags])?;
+        w.write_all(&i.next_pc.to_le_bytes())?;
+        if let Some(m) = i.mem_addr {
+            w.write_all(&m.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Read a trace previously written by [`write_trace`].
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<DynInst>> {
+    let magic = read_exact::<4>(&mut r)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = u32::from_le_bytes(read_exact::<4>(&mut r)?);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = u64::from_le_bytes(read_exact::<8>(&mut r)?);
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let pc = u64::from_le_bytes(read_exact::<8>(&mut r)?);
+        let op = op_from_u8(read_exact::<1>(&mut r)?[0])?;
+        let block = BlockId(u32::from_le_bytes(read_exact::<4>(&mut r)?));
+        let idx = u16::from_le_bytes(read_exact::<2>(&mut r)?);
+        let flags = read_exact::<1>(&mut r)?[0];
+        let next_pc = u64::from_le_bytes(read_exact::<8>(&mut r)?);
+        let mem_addr = if flags & 2 != 0 {
+            Some(u64::from_le_bytes(read_exact::<8>(&mut r)?))
+        } else {
+            None
+        };
+        out.push(DynInst {
+            pc,
+            op,
+            block,
+            idx,
+            taken: flags & 1 != 0,
+            next_pc,
+            mem_addr,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build;
+    use crate::exec::TraceGenerator;
+    use crate::profile::by_name;
+
+    #[test]
+    fn roundtrip_exact() {
+        let mut p = by_name("bzip2").unwrap();
+        p.i_footprint_kb = 2;
+        p.n_funcs = 6;
+        let w = build(&p, 4);
+        let mut t = TraceGenerator::new(&w, 4);
+        let insts = t.take_insts(10_000);
+
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(insts, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE00000000".to_vec();
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        buf[4] = 99;
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut p = by_name("bzip2").unwrap();
+        p.i_footprint_kb = 2;
+        p.n_funcs = 6;
+        let w = build(&p, 4);
+        let mut t = TraceGenerator::new(&w, 4);
+        let insts = t.take_insts(100);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), vec![]);
+    }
+}

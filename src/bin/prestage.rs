@@ -1,0 +1,127 @@
+//! `prestage` — command-line front door to the simulator.
+//!
+//! ```text
+//! prestage run   --bench gcc --preset clgp+l0 --l1 4K --tech 45
+//! prestage sweep --preset clgp+l0 --tech 45
+//! prestage list
+//! ```
+
+use fetch_prestaging::prelude::*;
+use fetch_prestaging::sim::run_config_over;
+use prestage_workload::{build, specint2000};
+
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim().to_uppercase();
+    if let Some(k) = s.strip_suffix('K') {
+        k.parse::<usize>().ok().map(|v| v << 10)
+    } else {
+        s.strip_suffix('B')
+            .unwrap_or(&s)
+            .parse::<usize>()
+            .ok()
+    }
+}
+
+fn parse_preset(s: &str) -> Option<ConfigPreset> {
+    use ConfigPreset::*;
+    Some(match s.to_lowercase().as_str() {
+        "base" => Base,
+        "base+l0" => BaseL0,
+        "pipelined" | "base-pipelined" => BasePipelined,
+        "ideal" => Ideal,
+        "fdp" => Fdp,
+        "fdp+l0" => FdpL0,
+        "fdp+l0+pb16" => FdpL0Pb16,
+        "clgp" => Clgp,
+        "clgp+l0" => ClgpL0,
+        "clgp+l0+pb16" => ClgpL0Pb16,
+        _ => return None,
+    })
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  prestage run   --bench <name> [--preset <p>] [--l1 <size>] [--tech 90|45] [--insts N]\n  prestage sweep [--preset <p>] [--tech 90|45]\n  prestage list\n\npresets: base, base+l0, pipelined, ideal, fdp, fdp+l0, fdp+l0+pb16, clgp, clgp+l0, clgp+l0+pb16"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    let tech = match arg_value(&args, "--tech").as_deref() {
+        Some("90") => TechNode::T090,
+        _ => TechNode::T045,
+    };
+    let preset = arg_value(&args, "--preset")
+        .map(|p| parse_preset(&p).unwrap_or_else(|| usage()))
+        .unwrap_or(ConfigPreset::ClgpL0);
+    let l1 = arg_value(&args, "--l1")
+        .map(|s| parse_size(&s).unwrap_or_else(|| usage()))
+        .unwrap_or(4 << 10);
+    let insts: u64 = arg_value(&args, "--insts")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+
+    match cmd {
+        "list" => {
+            println!("{:<10} {:>8} {:>7} {:>8}", "benchmark", "code KB", "funcs", "data KB");
+            for p in specint2000() {
+                println!(
+                    "{:<10} {:>8} {:>7} {:>8}",
+                    p.name, p.i_footprint_kb, p.n_funcs, p.d_footprint_kb
+                );
+            }
+        }
+        "run" => {
+            let name = arg_value(&args, "--bench").unwrap_or_else(|| usage());
+            let profile = workload::by_name(&name).unwrap_or_else(|| {
+                eprintln!("unknown benchmark '{name}' (try `prestage list`)");
+                std::process::exit(2);
+            });
+            let w = build(&profile, 42);
+            let cfg = SimConfig::preset(preset, tech, l1).with_insts(insts / 5, insts);
+            let s = Engine::new(cfg, &w, 7).run();
+            println!(
+                "{} | {} | L1 {} | {}",
+                profile.name,
+                preset.label(),
+                l1,
+                tech.label()
+            );
+            println!(
+                "IPC {:.3}  cycles {}  committed {}  redirects {} ({:.2} mpki)",
+                s.ipc(),
+                s.cycles,
+                s.committed,
+                s.redirects,
+                s.mpki()
+            );
+            println!(
+                "fetch sources: PB {:.1}%  L0 {:.1}%  L1 {:.1}%  L2 {:.1}%  Mem {:.1}%",
+                100.0 * s.front.fetch_share(s.front.fetch_pb),
+                100.0 * s.front.fetch_share(s.front.fetch_l0),
+                100.0 * s.front.fetch_share(s.front.fetch_l1),
+                100.0 * s.front.fetch_share(s.front.fetch_l2),
+                100.0 * s.front.fetch_share(s.front.fetch_mem),
+            );
+        }
+        "sweep" => {
+            let workloads: Vec<_> = specint2000().iter().map(|p| build(p, 42)).collect();
+            println!("{:<8} {:>8}", "L1", "HMEAN");
+            for shift in 8..=16 {
+                let size = 1usize << shift;
+                let cfg = SimConfig::preset(preset, tech, size).with_insts(insts / 5, insts);
+                let r = run_config_over(cfg, &workloads, 7);
+                println!("{:<8} {:>8.3}", size, r.hmean_ipc());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,7 +1,7 @@
 //! Related-work comparison (§2.1): classic next-N-line sequential
 //! prefetching vs the branch-predictor-guided schemes, plus the predictor
 //! ablation (stream predictor vs gshare) behind the paper's claim — via
-//! [4]/[16] — that "branch prediction based prefetching outperforms table
+//! \[4\]/\[16\] — that "branch prediction based prefetching outperforms table
 //! based prefetching" and tracks predictor quality.
 
 use prestage_bench::{config, note_result, workloads};

@@ -3,7 +3,7 @@
 //! A classic gshare direction predictor (XOR of PC and global history into a
 //! 2-bit counter table) that builds streams by walking the basic-block
 //! dictionary, predicting each conditional branch as it goes.  It exists for
-//! the ablation benches: the paper (and [14]) argue that decoupled
+//! the ablation benches: the paper (and \[14\]) argue that decoupled
 //! prefetching quality tracks predictor quality, so swapping the stream
 //! predictor for gshare quantifies that sensitivity without touching the
 //! front-end.

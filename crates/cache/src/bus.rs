@@ -354,7 +354,7 @@ mod tests {
         let a = s.submit(0x4000, ReqClass::IFetch, 0);
         let c = run_until(&mut s, a, 0, 300);
         assert_eq!(c.source, MemSource::Memory);
-        assert_eq!(c.ready_at, 0 + 17 + 200);
+        assert_eq!(c.ready_at, 17 + 200);
         // Second request to the same line now hits in L2.
         let b = s.submit(0x4000, ReqClass::IFetch, 300);
         let c2 = run_until(&mut s, b, 300, 40);
@@ -421,7 +421,7 @@ mod tests {
         // After upgrade the prefetch competes at DCache priority but with
         // its original (oldest) sequence number, so it is granted first.
         let c = run_until(&mut s, pf, 0, 400);
-        assert_eq!(c.ready_at, 0 + 217);
+        assert_eq!(c.ready_at, 217);
     }
 
     #[test]

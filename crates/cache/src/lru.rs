@@ -107,7 +107,7 @@ mod tests {
         // Arbitrary touch sequence.
         for i in [3usize, 1, 4, 1, 5, 2, 6, 5, 3, 5, 7, 0] {
             l.touch(i);
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for w in 0..8 {
                 let r = l.rank_of(w) as usize;
                 assert!(!seen[r], "duplicate rank");

@@ -96,12 +96,14 @@ mod tests {
 
     #[test]
     fn shares_sum_to_one() {
-        let mut s = FrontStats::default();
-        s.fetch_pb = SourceCount { lines: 60, insts: 240 };
-        s.fetch_l0 = SourceCount { lines: 20, insts: 80 };
-        s.fetch_l1 = SourceCount { lines: 15, insts: 60 };
-        s.fetch_l2 = SourceCount { lines: 4, insts: 16 };
-        s.fetch_mem = SourceCount { lines: 1, insts: 4 };
+        let s = FrontStats {
+            fetch_pb: SourceCount { lines: 60, insts: 240 },
+            fetch_l0: SourceCount { lines: 20, insts: 80 },
+            fetch_l1: SourceCount { lines: 15, insts: 60 },
+            fetch_l2: SourceCount { lines: 4, insts: 16 },
+            fetch_mem: SourceCount { lines: 1, insts: 4 },
+            ..FrontStats::default()
+        };
         let total = s.fetch_share(s.fetch_pb)
             + s.fetch_share(s.fetch_l0)
             + s.fetch_share(s.fetch_l1)

@@ -5,7 +5,7 @@
 //! integer + 32 floating-point registers), basic blocks, and the **static
 //! basic-block dictionary** ([`Program`]).
 //!
-//! The paper's trace-driven simulator "permit[s] execution along wrong paths
+//! The paper's trace-driven simulator "permit\[s\] execution along wrong paths
 //! by having a separate basic block dictionary in which we have the
 //! information of all static instructions (type, source/target registers)"
 //! (§4).  [`Program`] is that dictionary: given any PC inside the program

@@ -2,7 +2,7 @@
 //!
 //! The paper's figures are IPC sweeps over (preset, L1 size, node) for all
 //! twelve SPECint2000 benchmarks, harmonically aggregated.  [`run_grid`]
-//! executes such a grid with crossbeam scoped threads — every cell is an
+//! executes such a grid with `std::thread::scope` — every cell is an
 //! independent deterministic simulation, so the grid parallelises
 //! embarrassingly.
 
@@ -48,12 +48,12 @@ pub fn run_config_over(cfg: SimConfig, workloads: &[Workload], exec_seed: u64) -
         .min(workloads.len())
         .max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, SimStats)>();
-    crossbeam::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, SimStats)>();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= workloads.len() {
                     break;
@@ -62,8 +62,7 @@ pub fn run_config_over(cfg: SimConfig, workloads: &[Workload], exec_seed: u64) -
                 tx.send((i, stats)).expect("collector alive");
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     drop(tx);
     let mut per_bench: Vec<Option<(String, SimStats)>> = vec![None; workloads.len()];
     for (i, stats) in rx {

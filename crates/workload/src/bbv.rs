@@ -1,7 +1,7 @@
 //! Basic-block-vector profiling and SimPoint-style slice selection.
 //!
 //! The paper simulates "the most representative 300 million instruction
-//! slices following the idea presented in [18]" (Sherwood, Perelman,
+//! slices following the idea presented in \[18\]" (Sherwood, Perelman,
 //! Calder — *Basic block distribution analysis*, PACT'01).  This module
 //! reproduces that pipeline at our scale: execution is profiled into
 //! per-interval basic-block vectors, the vectors are random-projected to a

@@ -323,9 +323,7 @@ impl<'p> Gen<'p> {
             } else {
                 self.hot_region()
             };
-            let stride = *[4u32, 8, 8, 16, 64]
-                .get(self.rng.gen_range(0..5))
-                .unwrap();
+            let stride = [4u32, 8, 8, 16, 64][self.rng.gen_range(0..5usize)];
             MemModel::Stride { base, stride, span }
         }
     }

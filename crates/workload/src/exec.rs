@@ -1,8 +1,8 @@
 //! Deterministic dynamic execution of a generated workload.
 //!
 //! [`TraceGenerator`] walks the static program, evaluating each conditional
-//! branch's [`BranchModel`](crate::BranchModel) and each memory
-//! instruction's [`MemModel`](crate::MemModel) with a seeded RNG, and yields
+//! branch's [`BranchModel`] and each memory
+//! instruction's [`MemModel`] with a seeded RNG, and yields
 //! the committed path as a sequence of **instruction streams** (the fetch
 //! entities of the decoupled front-end): maximal sequential runs terminated
 //! by a taken control transfer, capped at the front-end's maximum

@@ -34,7 +34,7 @@
 //! * [`exec`] — [`TraceGenerator`]: deterministic dynamic execution
 //!   yielding instruction streams.
 //! * [`bbv`] — basic-block-vector profiling and a small k-means SimPoint
-//!   (the paper's [18]) for representative-slice selection.
+//!   (the paper's \[18\]) for representative-slice selection.
 //! * [`trace_io`] — compact binary save/load of generated streams.
 
 pub mod bbv;

@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`, covering the slice this workspace's
+//! benches use: `Criterion::bench_function` / `benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, `Throughput`, `BatchSize`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! It really measures: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the per-iteration median is printed as
+//!
+//! ```text
+//! bench group/name ... median 123.4 ns/iter (throughput 8.1 Melem/s)
+//! ```
+//!
+//! There are no HTML reports, statistical regressions, or outlier analysis —
+//! this exists so `cargo bench` runs offline and produces comparable
+//! numbers; swap the workspace manifest to real criterion for publication
+//! runs.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// How batched inputs are grouped. Only the variants the workspace names.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for reported throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs the measured closures and records timing samples.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_size,
+        }
+    }
+
+    /// Time `routine` repeatedly; one sample = a timed burst of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and burst-length calibration: grow until a burst takes
+        // at least ~1ms or a cap is reached.
+        let mut per_burst = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..per_burst {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as u64;
+            if ns > 1_000_000 || per_burst >= 1 << 20 {
+                break;
+            }
+            per_burst *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_burst {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / per_burst as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up call, then one timed call per sample.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn report(name: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let human = if median_ns < 1_000.0 {
+        format!("{median_ns:.1} ns/iter")
+    } else if median_ns < 1_000_000.0 {
+        format!("{:.2} us/iter", median_ns / 1_000.0)
+    } else {
+        format!("{:.2} ms/iter", median_ns / 1_000_000.0)
+    };
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.2} Melem/s)", n as f64 * 1_000.0 / median_ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.2} MB/s)", n as f64 * 1_000.0 / median_ns)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<44} median {human}{tp}");
+}
+
+/// A named family of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.median_ns(),
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level driver (a skeleton of real criterion's).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, b.median_ns(), None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {}
+}
+
+/// `criterion_group!(name, target, ...)` — the simple form the workspace uses.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — emits `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

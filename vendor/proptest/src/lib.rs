@@ -1,0 +1,193 @@
+//! Offline stand-in for `proptest`, covering the slice this workspace's
+//! property tests use: the `proptest!` macro over named-argument test
+//! functions, range / tuple / `any::<bool>()` strategies,
+//! `prop::collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Semantics: each `proptest!` test body runs [`CASES`] times against
+//! independently sampled inputs from a deterministic RNG (fixed seed, so CI
+//! is reproducible). There is no shrinking — a failing case panics with the
+//! ordinary assertion message. That is a weaker debugging experience than
+//! real proptest but identical pass/fail power for the invariants tested
+//! here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Cases sampled per property. Override with `PROPTEST_CASES`.
+pub const CASES: u32 = 96;
+
+/// Resolve the per-property case count (`PROPTEST_CASES` env override).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CASES)
+        // 0 would make every property a green no-op; real proptest rejects it.
+        .max(1)
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(0x5EED_CAFE ^ salt))
+    }
+}
+
+/// A source of random values of one type (real proptest's `Strategy`,
+/// minus shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// `any::<T>()` — arbitrary value of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.0.gen()
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen()
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run each contained `fn name(arg in strategy, ...) { .. }` as a `#[test]`
+/// over [`cases`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(
+                    stringify!($name).bytes().fold(0u64, |h, b| {
+                        h.wrapping_mul(31).wrapping_add(b as u64)
+                    }),
+                );
+                for __case in 0..$crate::cases() {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(v in prop::collection::vec((0u64..64, any::<bool>()), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            for (x, _b) in v {
+                prop_assert!(x < 64);
+            }
+        }
+
+        #[test]
+        fn two_args(base in 0u64..1000, assoc in 1usize..8) {
+            prop_assert!(base < 1000);
+            prop_assert!((1..8).contains(&assoc));
+        }
+    }
+}

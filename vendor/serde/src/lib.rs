@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` trait names and the matching
+//! derive macros so the workspace's annotations compile without network
+//! access. The traits are blanket-implemented: any `T: Serialize` bound is
+//! trivially satisfied, and the derives (from the sibling `serde_derive`
+//! shim) expand to nothing. Swapping in the real serde is a one-line change
+//! in the workspace manifest and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name and position.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait matching `serde::Deserialize`'s name and position.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait matching `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

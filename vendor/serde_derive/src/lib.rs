@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, and nothing in
+//! this workspace actually serialises: the `#[derive(Serialize, Deserialize)]`
+//! annotations exist so downstream tooling (sweep persistence, trace dumps)
+//! can be added without re-annotating every type. Until a real serde is
+//! available the derives expand to nothing; the traits in the sibling
+//! `serde` shim are blanket-implemented so bounds keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`. Accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`. Accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,9 +8,9 @@
 //! * `filter`       — skip prestaging L1-resident lines (give up the
 //!   hit-latency avoidance, FDP-style).
 
-use prestage_bench::{note_result, run_lengths, workloads};
+use prestage_bench::{exec_seed, note_result, results_dir, run_lengths, workloads};
 use prestage_cacti::TechNode;
-use prestage_sim::{run_config_over, ConfigPreset, SimConfig};
+use prestage_sim::{run_grid, ConfigPreset, SimConfig};
 use std::io::Write;
 
 fn main() {
@@ -51,12 +51,14 @@ fn main() {
         "{:<40} {:>8} {:>9} {:>9}",
         "variant", "HMEAN", "PB share", "vs full"
     );
-    std::fs::create_dir_all("results").unwrap();
-    let mut csv = std::fs::File::create("results/ablate.csv").unwrap();
+    std::fs::create_dir_all(results_dir()).unwrap();
+    let mut csv = std::fs::File::create(results_dir().join("ablate.csv")).unwrap();
     writeln!(csv, "variant,hmean_ipc,pb_share").unwrap();
+    // All five variants in one run_grid call on the shared cell pool.
+    let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| *c).collect();
+    let grids = run_grid(&configs, &w, exec_seed());
     let mut full = None;
-    for (name, cfg) in variants {
-        let r = run_config_over(cfg, &w, prestage_bench::seed());
+    for ((name, _), r) in variants.iter().zip(&grids) {
         let h = r.hmean_ipc();
         let pb: f64 = r
             .per_bench

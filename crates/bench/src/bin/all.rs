@@ -1,7 +1,8 @@
 //! Run every table and figure in sequence (the full reproduction).
 //!
 //! Honours the same `PRESTAGE_*` environment knobs as the individual
-//! binaries; results land in `results/*.csv` and on stdout.
+//! binaries; results land in the workspace results dir (`PRESTAGE_RESULTS_DIR`
+//! to override) and on stdout.
 
 use std::process::Command;
 

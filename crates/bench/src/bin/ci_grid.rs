@@ -1,0 +1,117 @@
+//! CI perf gate: a 2-preset × 3-size mini-grid through the flat cell pool,
+//! persisted as a JSON artifact (`<results dir>/ci_grid.json`) and diffed
+//! against the previous run's artifact.
+//!
+//! Per (preset, size) row it records the HMEAN IPC — deterministic given
+//! seeds and run lengths, so any movement means simulator behaviour
+//! changed — and the median per-cell wall-clock, the bench-medians artifact
+//! the ROADMAP asks CI to track.  Movement beyond 10% prints GitHub
+//! `::warning::` annotations; the exit status stays 0 so noisy runners
+//! don't block merges.
+//!
+//! Honours the usual `PRESTAGE_*` knobs; a previous artifact can also be
+//! supplied explicitly via `PRESTAGE_PREV_JSON=<path>`.
+
+use prestage_bench::perf::{diff, CellPerf, PerfReport};
+use prestage_bench::{config, exec_seed, results_dir, size_label, workloads};
+use prestage_cacti::TechNode;
+use prestage_sim::{run_cells, CellGrid, ConfigPreset};
+use std::io::Write;
+
+/// True median: mean of the two middle elements for even counts (the CI
+/// benchmark set has 4), not the upward-biased upper-middle pick.
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let presets = [ConfigPreset::BaseL0, ConfigPreset::ClgpL0];
+    let sizes = [1 << 10, 4 << 10, 16 << 10];
+    let tech = TechNode::T045;
+    let w = workloads();
+    if w.is_empty() {
+        eprintln!("ci_grid: PRESTAGE_BENCH matched no benchmarks — nothing to measure");
+        std::process::exit(2);
+    }
+
+    let grid = CellGrid::new(presets.to_vec(), tech, sizes.to_vec(), w.len(), exec_seed());
+    let t0 = std::time::Instant::now();
+    let results = run_cells(&grid.cells(), &w, |c| config(c.preset, c.tech, c.l1));
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    // Per-row medians, grouped by the cells' own identity rather than any
+    // assumption about result order.
+    let cell_walls: Vec<(prestage_sim::SweepCell, f64)> = results
+        .iter()
+        .map(|r| (r.cell, r.wall.as_secs_f64()))
+        .collect();
+    let merged = grid.merge(results, &w);
+    let mut cells = Vec::new();
+    for (pi, &preset) in presets.iter().enumerate() {
+        for (si, &l1) in sizes.iter().enumerate() {
+            let mut walls: Vec<f64> = cell_walls
+                .iter()
+                .filter(|(c, _)| c.preset == preset && c.l1 == l1)
+                .map(|(_, s)| *s)
+                .collect();
+            walls.sort_by(|a, b| a.total_cmp(b));
+            cells.push(CellPerf {
+                preset: preset.label().to_string(),
+                l1,
+                hmean_ipc: merged[pi][si].hmean_ipc(),
+                median_cell_wall_s: median(&walls),
+            });
+        }
+    }
+    let report = PerfReport {
+        schema: 1,
+        total_wall_s,
+        cells,
+    };
+
+    println!("# CI mini-grid ({} cells, {total_wall_s:.2}s)", grid.n_cells());
+    for c in &report.cells {
+        println!(
+            "{:<12} {:>6}  hmean_ipc {:.4}  median cell {:.4}s",
+            c.preset,
+            size_label(c.l1),
+            c.hmean_ipc,
+            c.median_cell_wall_s
+        );
+    }
+
+    let path = results_dir().join("ci_grid.json");
+    let prev_path = std::env::var_os("PRESTAGE_PREV_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| path.clone());
+    match std::fs::read_to_string(&prev_path)
+        .ok()
+        .and_then(|t| PerfReport::from_json(&t))
+    {
+        Some(prev) => {
+            let (deltas, warnings) = diff(&prev, &report);
+            println!("\n# vs previous run ({})", prev_path.display());
+            for d in &deltas {
+                println!("{d}");
+            }
+            for warn in &warnings {
+                // GitHub annotation; plain prefix everywhere else.
+                println!("::warning::ci_grid: {warn}");
+            }
+            if warnings.is_empty() {
+                println!("no movement beyond 10%");
+            }
+        }
+        None => println!("\nno previous artifact at {} — baseline run", prev_path.display()),
+    }
+
+    std::fs::create_dir_all(results_dir()).expect("results dir creatable");
+    let mut f = std::fs::File::create(&path).expect("artifact writable");
+    f.write_all(report.to_json().as_bytes()).expect("artifact written");
+    println!("\nwrote {}", path.display());
+}

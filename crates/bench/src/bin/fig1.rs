@@ -20,5 +20,6 @@ fn main() {
         &rows,
         &L1_SIZES,
     );
-    write_sweep_csv("fig1", &rows, &L1_SIZES).expect("write results/fig1.csv");
+    let path = write_sweep_csv("fig1", &rows, &L1_SIZES).expect("write fig1.csv");
+    eprintln!("wrote {}", path.display());
 }

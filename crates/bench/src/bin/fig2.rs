@@ -9,5 +9,6 @@ fn main() {
     let presets = [ConfigPreset::FdpL0, ConfigPreset::Fdp];
     let rows = ipc_sweep(&presets, &L1_SIZES, TechNode::T045, &w);
     print_sweep("Figure 2(b) — FDP with/without L0 (0.045um)", &rows, &L1_SIZES);
-    write_sweep_csv("fig2", &rows, &L1_SIZES).expect("write results/fig2.csv");
+    let path = write_sweep_csv("fig2", &rows, &L1_SIZES).expect("write fig2.csv");
+    eprintln!("wrote {}", path.display());
 }

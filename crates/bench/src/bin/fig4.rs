@@ -13,5 +13,6 @@ fn main() {
         &rows,
         &L1_SIZES,
     );
-    write_sweep_csv("fig4", &rows, &L1_SIZES).expect("write results/fig4.csv");
+    let path = write_sweep_csv("fig4", &rows, &L1_SIZES).expect("write fig4.csv");
+    eprintln!("wrote {}", path.display());
 }

@@ -30,6 +30,7 @@ fn main() {
         &rows,
         &L1_SIZES,
     );
-    write_sweep_csv(&format!("fig5{sub}"), &rows, &L1_SIZES)
-        .unwrap_or_else(|e| panic!("write results/fig5{sub}.csv: {e}"));
+    let path = write_sweep_csv(&format!("fig5{sub}"), &rows, &L1_SIZES)
+        .unwrap_or_else(|e| panic!("write fig5{sub}.csv: {e}"));
+    eprintln!("wrote {}", path.display());
 }

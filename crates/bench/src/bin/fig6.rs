@@ -1,9 +1,9 @@
 //! Figure 6: per-benchmark IPC for the best configuration of the baseline,
 //! FDP and CLGP (8 KB L1 I-cache, 0.045 µm).
 
-use prestage_bench::{config, note_result, workloads};
+use prestage_bench::{config, exec_seed, note_result, results_dir, workloads};
 use prestage_cacti::TechNode;
-use prestage_sim::{harmonic_mean, run_config_over, ConfigPreset};
+use prestage_sim::{harmonic_mean, run_grid, ConfigPreset, SimConfig};
 use std::io::Write;
 
 fn main() {
@@ -15,14 +15,10 @@ fn main() {
         ConfigPreset::FdpL0Pb16,
         ConfigPreset::ClgpL0Pb16,
     ];
-    let results: Vec<_> = presets
-        .iter()
-        .map(|&p| {
-            let r = run_config_over(config(p, tech, l1), &w, prestage_bench::seed());
-            eprintln!("  ran {}", p.label());
-            r
-        })
-        .collect();
+    // All three presets in one run_grid call on the shared cell pool.
+    let configs: Vec<SimConfig> = presets.iter().map(|&p| config(p, tech, l1)).collect();
+    let results = run_grid(&configs, &w, exec_seed());
+    eprintln!("  ran {} presets", presets.len());
 
     println!("\n# Figure 6 — per-benchmark IPC (8KB L1, 0.045um)");
     print!("{:<10}", "bench");
@@ -59,8 +55,8 @@ fn main() {
     println!();
     csv.push('\n');
 
-    std::fs::create_dir_all("results").unwrap();
-    let mut f = std::fs::File::create("results/fig6.csv").unwrap();
+    std::fs::create_dir_all(results_dir()).unwrap();
+    let mut f = std::fs::File::create(results_dir().join("fig6.csv")).unwrap();
     f.write_all(csv.as_bytes()).unwrap();
 
     note_result(

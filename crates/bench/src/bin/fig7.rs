@@ -3,10 +3,10 @@
 //!
 //! `--l0 on` selects Figure 7(b); default reproduces 7(a).
 
-use prestage_bench::{config, size_label, workloads, L1_SIZES};
+use prestage_bench::{config, exec_seed, results_dir, size_label, workloads, L1_SIZES};
 use prestage_cacti::TechNode;
 use prestage_core::FrontStats;
-use prestage_sim::{run_config_over, ConfigPreset};
+use prestage_sim::{run_grid, ConfigPreset, SimConfig};
 use std::io::Write;
 
 fn shares(stats: &[FrontStats]) -> [f64; 5] {
@@ -37,37 +37,46 @@ fn main() {
         "{:<8} {:>6} | {:>6} {:>6} {:>6} {:>6} {:>6}",
         "config", "L1", "PB", "il0", "il1", "ul2", "Mem"
     );
-    std::fs::create_dir_all("results").unwrap();
-    let mut csv = std::fs::File::create(format!("results/fig7{sub}.csv")).unwrap();
+    std::fs::create_dir_all(results_dir()).unwrap();
+    let mut csv = std::fs::File::create(results_dir().join(format!("fig7{sub}.csv"))).unwrap();
     writeln!(csv, "config,l1,pb,il0,il1,ul2,mem").unwrap();
-    for (name, preset) in [("FDP", fdp), ("CLGP", clgp)] {
-        for &size in &L1_SIZES {
-            let r = run_config_over(config(preset, tech, size), &w, prestage_bench::seed());
-            let st: Vec<_> = r.per_bench.iter().map(|(_, s)| s.front).collect();
-            let sh = shares(&st);
-            println!(
-                "{:<8} {:>6} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
-                name,
-                size_label(size),
-                sh[0],
-                sh[1],
-                sh[2],
-                sh[3],
-                sh[4]
-            );
-            writeln!(
-                csv,
-                "{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
-                name,
-                size_label(size),
-                sh[0],
-                sh[1],
-                sh[2],
-                sh[3],
-                sh[4]
-            )
-            .unwrap();
-        }
-        eprintln!("  swept {name}");
+    // One run_grid over every (preset, size) row: the whole figure shares
+    // the flat cell pool instead of resynchronising per row.
+    let presets = [("FDP", fdp), ("CLGP", clgp)];
+    let combos: Vec<(&str, usize)> = presets
+        .iter()
+        .flat_map(|&(name, _)| L1_SIZES.iter().map(move |&size| (name, size)))
+        .collect();
+    let configs: Vec<SimConfig> = presets
+        .iter()
+        .flat_map(|&(_, p)| L1_SIZES.iter().map(move |&size| config(p, tech, size)))
+        .collect();
+    let grids = run_grid(&configs, &w, exec_seed());
+    eprintln!("  swept {} rows", grids.len());
+    for ((name, size), r) in combos.iter().zip(&grids) {
+        let st: Vec<_> = r.per_bench.iter().map(|(_, s)| s.front).collect();
+        let sh = shares(&st);
+        println!(
+            "{:<8} {:>6} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            name,
+            size_label(*size),
+            sh[0],
+            sh[1],
+            sh[2],
+            sh[3],
+            sh[4]
+        );
+        writeln!(
+            csv,
+            "{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            name,
+            size_label(*size),
+            sh[0],
+            sh[1],
+            sh[2],
+            sh[3],
+            sh[4]
+        )
+        .unwrap();
     }
 }

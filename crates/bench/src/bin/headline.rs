@@ -8,24 +8,34 @@
 //! * Fetch-source headline: ≥86% of fetches from the prestage buffer
 //!   (≈95% from one-cycle sources with an L0).
 
-use prestage_bench::{config, note_result, workloads};
+use prestage_bench::{config, exec_seed, note_result, workloads};
 use prestage_cacti::TechNode;
-use prestage_sim::{run_config_over, ConfigPreset};
+use prestage_sim::{run_config_over, run_grid, ConfigPreset};
 
 fn hmean(preset: ConfigPreset, tech: TechNode, l1: usize, w: &[prestage_workload::Workload]) -> f64 {
-    run_config_over(config(preset, tech, l1), w, prestage_bench::seed()).hmean_ipc()
+    run_config_over(config(preset, tech, l1), w, exec_seed()).hmean_ipc()
 }
 
 fn main() {
     let w = workloads();
     for tech in [TechNode::T090, TechNode::T045] {
         let l1 = 4 << 10;
-        let clgp16 = hmean(ConfigPreset::ClgpL0Pb16, tech, l1, &w);
-        let fdp16 = hmean(ConfigPreset::FdpL0Pb16, tech, l1, &w);
-        let clgp = hmean(ConfigPreset::ClgpL0, tech, l1, &w);
-        let fdp = hmean(ConfigPreset::FdpL0, tech, l1, &w);
-        let pipe = hmean(ConfigPreset::BasePipelined, tech, l1, &w);
-        let base_l0 = hmean(ConfigPreset::BaseL0, tech, l1, &w);
+        // All six presets in one run_grid call on the shared cell pool.
+        let presets = [
+            ConfigPreset::ClgpL0Pb16,
+            ConfigPreset::FdpL0Pb16,
+            ConfigPreset::ClgpL0,
+            ConfigPreset::FdpL0,
+            ConfigPreset::BasePipelined,
+            ConfigPreset::BaseL0,
+        ];
+        let configs: Vec<_> = presets.iter().map(|&p| config(p, tech, l1)).collect();
+        let hs: Vec<f64> = run_grid(&configs, &w, exec_seed())
+            .iter()
+            .map(|r| r.hmean_ipc())
+            .collect();
+        let (clgp16, fdp16, clgp, fdp, pipe, base_l0) =
+            (hs[0], hs[1], hs[2], hs[3], hs[4], hs[5]);
         note_result(
             &format!("headline {}", tech.label()),
             &format!(
@@ -74,7 +84,7 @@ fn main() {
 
     // Fetch-source headline at 4KB / 0.045um.
     for (label, preset) in [("CLGP", ConfigPreset::Clgp), ("CLGP+L0", ConfigPreset::ClgpL0)] {
-        let r = run_config_over(config(preset, TechNode::T045, 4 << 10), &w, prestage_bench::seed());
+        let r = run_config_over(config(preset, TechNode::T045, 4 << 10), &w, exec_seed());
         let (mut pb, mut one) = (0.0, 0.0);
         for (_, s) in &r.per_bench {
             pb += s.front.fetch_share(s.front.fetch_pb);

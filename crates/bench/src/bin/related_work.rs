@@ -4,10 +4,11 @@
 //! \[4\]/\[16\] — that "branch prediction based prefetching outperforms table
 //! based prefetching" and tracks predictor quality.
 
-use prestage_bench::{config, note_result, workloads};
+use prestage_bench::{config, exec_seed, note_result, results_dir, workloads};
 use prestage_cacti::TechNode;
 use prestage_sim::{
-    harmonic_mean, run_config_over, ConfigPreset, Engine, PredictorKind, SimConfig,
+    harmonic_mean, pool_map, pool_threads, run_grid, ConfigPreset, Engine, PredictorKind,
+    SimConfig,
 };
 use prestage_core::PrefetcherKind;
 use std::io::Write;
@@ -27,12 +28,15 @@ fn main() {
         ("CLGP", config(ConfigPreset::Clgp, tech, l1)),
     ];
     println!("\n# Related work — prefetch scheme ladder (4KB L1, 0.045um)");
-    std::fs::create_dir_all("results").unwrap();
-    let mut csv = std::fs::File::create("results/related_work.csv").unwrap();
+    std::fs::create_dir_all(results_dir()).unwrap();
+    let mut csv = std::fs::File::create(results_dir().join("related_work.csv")).unwrap();
     writeln!(csv, "scheme,hmean_ipc").unwrap();
+    // The whole ladder in one run_grid call on the shared cell pool.
+    let configs: Vec<SimConfig> = schemes.iter().map(|(_, c)| *c).collect();
+    let grids = run_grid(&configs, &w, exec_seed());
     let mut ladder = Vec::new();
-    for (name, cfg) in schemes {
-        let h = run_config_over(cfg, &w, prestage_bench::seed()).hmean_ipc();
+    for ((name, _), r) in schemes.iter().zip(&grids) {
+        let h = r.hmean_ipc();
         println!("{name:<22} HMEAN {h:.3}");
         writeln!(csv, "{name},{h:.4}").unwrap();
         ladder.push(h);
@@ -49,14 +53,13 @@ fn main() {
         ("gshare 16K", PredictorKind::Gshare),
     ] {
         let cfg = config(ConfigPreset::ClgpL0, tech, l1);
-        let ipcs: Vec<f64> = w
-            .iter()
-            .map(|wl| {
-                Engine::with_predictor(cfg, wl, prestage_bench::seed(), kind)
-                    .run()
-                    .ipc()
-            })
-            .collect();
+        // The predictor override has no preset identity, so it rides the
+        // executor directly rather than run_grid.
+        let ipcs: Vec<f64> = pool_map(w.len(), pool_threads(), |i| {
+            Engine::with_predictor(cfg, &w[i], exec_seed(), kind)
+                .run()
+                .ipc()
+        });
         let h = harmonic_mean(&ipcs);
         println!("{name:<28} HMEAN {h:.3}");
         writeln!(csv, "{name},{h:.4}").unwrap();

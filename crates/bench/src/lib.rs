@@ -4,19 +4,38 @@
 //! binaries in `src/bin/` (one per table/figure of the paper — see
 //! DESIGN.md §5 for the index) and by the Criterion benches in `benches/`.
 //!
-//! Run lengths are controlled by environment variables so the full
-//! reproduction and quick smoke runs share one code path:
+//! Sweeps run on `prestage_sim`'s flat cell pool: [`ipc_sweep`] flattens
+//! the whole (preset × L1-size × benchmark) grid into `SweepCell`s and
+//! evaluates them on one work-stealing pool, so every figure binary keeps
+//! all cores busy across cell boundaries.
 //!
-//! * `PRESTAGE_WARMUP`  — warm-up instructions per run (default 200 000)
-//! * `PRESTAGE_MEASURE` — measured instructions per run (default 1 000 000)
-//! * `PRESTAGE_SEED`    — workload generation seed (default 42)
-//! * `PRESTAGE_BENCH`   — comma-separated benchmark filter (default: all 12)
+//! Run lengths and seeds are controlled by environment variables so the
+//! full reproduction and quick smoke runs share one code path:
+//!
+//! * `PRESTAGE_WARMUP`    — warm-up instructions per run (default 200 000)
+//! * `PRESTAGE_MEASURE`   — measured instructions per run (default 1 000 000)
+//! * `PRESTAGE_SEED`      — workload *generation* seed (default 42)
+//! * `PRESTAGE_EXEC_SEED` — engine *execution* seed (default 42); split
+//!   from `PRESTAGE_SEED` so workload shape and execution jitter can be
+//!   varied independently
+//! * `PRESTAGE_BENCH`     — comma-separated benchmark filter (default: all 12)
+//! * `PRESTAGE_THREADS`   — worker threads for the sweep pool (default:
+//!   available parallelism)
+//! * `PRESTAGE_RESULTS_DIR` — where CSV/notes artifacts land (default:
+//!   `<workspace root>/results`, independent of the invocation cwd)
+//!
+//! Malformed numeric values fail loudly (`PRESTAGE_MEASURE=1e6` aborts with
+//! the variable name and offending value instead of silently running the
+//! default length).
+
+pub mod perf;
 
 use prestage_cacti::TechNode;
-use prestage_sim::{run_config_over, ConfigPreset, GridResult, SimConfig};
+use prestage_sim::{run_cells, CellGrid, ConfigPreset, GridResult, SimConfig};
 use prestage_workload::{build, specint2000, Workload};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 /// The paper's L1 I-cache sweep: 256 B … 64 KB.
 pub const L1_SIZES: [usize; 9] = [
@@ -31,20 +50,38 @@ pub const L1_SIZES: [usize; 9] = [
     64 << 10,
 ];
 
-/// Human label for a size ("256B", "4K", ...).
+/// Human label for a size ("256B", "4K", "1.5K", ...).
+///
+/// Non-power-of-two sizes render exactly (`1536` → `"1.5K"`, never the
+/// truncated `"1K"` that would collide with `1024`): `f64`'s `Display` is
+/// the shortest exact representation, so distinct byte counts always get
+/// distinct labels.
 pub fn size_label(bytes: usize) -> String {
     if bytes < 1024 {
         format!("{bytes}B")
     } else {
-        format!("{}K", bytes / 1024)
+        format!("{}K", bytes as f64 / 1024.0)
+    }
+}
+
+/// Parse an env-var value, failing loudly on malformed input: a typo'd
+/// `PRESTAGE_MEASURE=1e6` must abort, not silently run the default length.
+/// Empty/whitespace values count as unset.
+fn parse_env_u64(name: &str, value: Option<&str>, default: u64) -> u64 {
+    match value.map(str::trim) {
+        None | Some("") => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            panic!(
+                "{name} must be an unsigned integer, got {v:?} \
+                 (write e.g. {name}=1000000; scientific notation is not supported)"
+            )
+        }),
     }
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let value = std::env::var_os(name).map(|v| v.to_string_lossy().into_owned());
+    parse_env_u64(name, value.as_deref(), default)
 }
 
 /// (warm-up, measured) instruction counts from the environment.
@@ -55,9 +92,52 @@ pub fn run_lengths() -> (u64, u64) {
     )
 }
 
-/// Workload generation seed.
+/// Workload generation seed (`PRESTAGE_SEED`).
 pub fn seed() -> u64 {
     env_u64("PRESTAGE_SEED", 42)
+}
+
+/// Engine execution seed (`PRESTAGE_EXEC_SEED`) — deliberately independent
+/// of [`seed`]: regenerating workloads and re-jittering execution are
+/// different experiments.
+pub fn exec_seed() -> u64 {
+    env_u64("PRESTAGE_EXEC_SEED", 42)
+}
+
+/// Directory where sweep artifacts (CSVs, notes, perf JSON) land:
+/// `PRESTAGE_RESULTS_DIR` if set, else `<workspace root>/results` — derived
+/// once, independent of the invocation cwd.
+///
+/// The workspace root is the compile-time manifest root when it still
+/// exists (the normal case — and immune to a shared `CARGO_TARGET_DIR`
+/// parked inside some *other* workspace); if the checkout moved since the
+/// build, it is recovered by walking up from the running binary to the
+/// nearest `[workspace]` manifest.
+pub fn results_dir() -> &'static Path {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        if let Some(d) = std::env::var_os("PRESTAGE_RESULTS_DIR") {
+            return PathBuf::from(d);
+        }
+        // crates/bench → crates → workspace root, fixed at compile time.
+        let baked = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."));
+        if baked.is_dir() {
+            return baked.join("results");
+        }
+        let near_exe = std::env::current_exe().ok().and_then(|exe| {
+            exe.ancestors()
+                .find(|d| {
+                    std::fs::read_to_string(d.join("Cargo.toml"))
+                        .is_ok_and(|m| m.contains("[workspace]"))
+                })
+                .map(Path::to_path_buf)
+        });
+        near_exe.unwrap_or(baked).join("results")
+    })
 }
 
 /// Build the SPECint2000 workload set (honouring `PRESTAGE_BENCH`).
@@ -90,29 +170,48 @@ pub struct SweepRow {
 }
 
 /// Sweep `presets` × `sizes` at `tech` over `workloads`.
+///
+/// The whole grid is flattened into one cell list and evaluated on a
+/// single work-stealing pool — cores never idle between (preset, size)
+/// cells — then merged back into ordered rows.  Bit-exact for any thread
+/// count or cell order.
 pub fn ipc_sweep(
     presets: &[ConfigPreset],
     sizes: &[usize],
     tech: TechNode,
     workloads: &[Workload],
 ) -> Vec<SweepRow> {
+    let grid = CellGrid::new(
+        presets.to_vec(),
+        tech,
+        sizes.to_vec(),
+        workloads.len(),
+        exec_seed(),
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_cells(&grid.cells(), workloads, |c| config(c.preset, c.tech, c.l1));
+    eprintln!(
+        "  swept {} cells ({} presets x {} sizes x {} benchmarks) in {:.2}s",
+        grid.n_cells(),
+        presets.len(),
+        sizes.len(),
+        workloads.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let merged = grid.merge(results, workloads);
     presets
         .iter()
-        .map(|&preset| {
-            let results = sizes
-                .iter()
-                .map(|&s| {
-                    let cfg = config(preset, tech, s);
-                    (s, run_config_over(cfg, workloads, seed()))
-                })
-                .collect();
-            eprintln!("  swept {}", preset.label());
-            SweepRow { preset, results }
+        .zip(merged)
+        .map(|(&preset, row)| SweepRow {
+            preset,
+            results: sizes.iter().copied().zip(row).collect(),
         })
         .collect()
 }
 
 /// Print an IPC sweep as an aligned text table (the figure's data series).
+/// A cell whose HMEAN collapsed to zero gets its culprit benchmarks named
+/// on stderr instead of hiding inside the table.
 pub fn print_sweep(title: &str, rows: &[SweepRow], sizes: &[usize]) {
     println!("\n# {title}");
     print!("{:<16}", "config");
@@ -122,21 +221,42 @@ pub fn print_sweep(title: &str, rows: &[SweepRow], sizes: &[usize]) {
     println!();
     for row in rows {
         print!("{:<16}", row.preset.label());
-        for (_, r) in &row.results {
+        for (size, r) in &row.results {
             print!(" {:>8.3}", r.hmean_ipc());
+            let zeroed = r.zero_ipc_benches();
+            if !zeroed.is_empty() {
+                eprintln!(
+                    "  WARNING: {} @ {}: zero IPC from {} — HMEAN reported as 0",
+                    row.preset.label(),
+                    size_label(*size),
+                    zeroed.join(", ")
+                );
+            }
         }
         println!();
     }
 }
 
-/// Write an IPC sweep to `results/<name>.csv`.
-pub fn write_sweep_csv(name: &str, rows: &[SweepRow], sizes: &[usize]) -> std::io::Result<()> {
-    let dir = Path::new("results");
+/// Write an IPC sweep to `<results dir>/<name>.csv` (plus a per-benchmark
+/// `<name>_detail.csv`), returning the path of the summary CSV.
+pub fn write_sweep_csv(name: &str, rows: &[SweepRow], sizes: &[usize]) -> std::io::Result<PathBuf> {
+    let labels: Vec<String> = sizes.iter().map(|&s| size_label(s)).collect();
+    {
+        let unique: std::collections::HashSet<&str> =
+            labels.iter().map(String::as_str).collect();
+        assert_eq!(
+            unique.len(),
+            labels.len(),
+            "size labels collide in CSV header: {labels:?}"
+        );
+    }
+    let dir = results_dir();
     std::fs::create_dir_all(dir)?;
-    let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
     write!(f, "config")?;
-    for &s in sizes {
-        write!(f, ",{}", size_label(s))?;
+    for label in &labels {
+        write!(f, ",{label}")?;
     }
     writeln!(f)?;
     for row in rows {
@@ -167,20 +287,23 @@ pub fn write_sweep_csv(name: &str, rows: &[SweepRow], sizes: &[usize]) -> std::i
             }
         }
     }
-    Ok(())
+    Ok(path)
 }
 
 /// Append a record of measured headline values (consumed by EXPERIMENTS.md
-/// upkeep).
-pub fn note_result(name: &str, text: &str) {
+/// upkeep); returns the notes file's path.
+pub fn note_result(name: &str, text: &str) -> PathBuf {
     println!("[{name}] {text}");
-    let _ = std::fs::create_dir_all("results");
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("headline_notes.txt");
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open("results/headline_notes.txt")
+        .open(&path)
         .expect("results dir writable");
     let _ = writeln!(f, "[{name}] {text}");
+    path
 }
 
 #[cfg(test)]
@@ -192,6 +315,18 @@ mod tests {
         assert_eq!(size_label(256), "256B");
         assert_eq!(size_label(4096), "4K");
         assert_eq!(size_label(64 << 10), "64K");
+    }
+
+    #[test]
+    fn size_labels_are_exact_for_odd_sizes() {
+        // 1536 used to truncate to "1K" and collide with 1024.
+        assert_eq!(size_label(1536), "1.5K");
+        assert_eq!(size_label(2560), "2.5K");
+        assert_ne!(size_label(1536), size_label(1024));
+        // Distinct sizes never collide across a dense range.
+        let labels: std::collections::HashSet<String> =
+            (256..4096).map(size_label).collect();
+        assert_eq!(labels.len(), 4096 - 256);
     }
 
     #[test]
@@ -209,5 +344,37 @@ mod tests {
         // Env-free defaults (tests may run with env set; only check order).
         let (w, m) = run_lengths();
         assert!(w >= 1 && m >= w);
+    }
+
+    #[test]
+    fn env_parsing_accepts_good_values_and_defaults() {
+        assert_eq!(parse_env_u64("X", None, 7), 7);
+        assert_eq!(parse_env_u64("X", Some(""), 7), 7);
+        assert_eq!(parse_env_u64("X", Some("  "), 7), 7);
+        assert_eq!(parse_env_u64("X", Some("123"), 7), 123);
+        assert_eq!(parse_env_u64("X", Some(" 42 "), 7), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "PRESTAGE_MEASURE must be an unsigned integer")]
+    fn env_parsing_rejects_scientific_notation() {
+        parse_env_u64("PRESTAGE_MEASURE", Some("1e6"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an unsigned integer")]
+    fn env_parsing_rejects_negatives() {
+        parse_env_u64("PRESTAGE_WARMUP", Some("-5"), 0);
+    }
+
+    #[test]
+    fn results_dir_is_cwd_independent() {
+        // Either the env override or the workspace-root default — never a
+        // bare relative "results" that depends on the invocation cwd.
+        let dir = results_dir();
+        assert!(
+            dir.is_absolute() || std::env::var_os("PRESTAGE_RESULTS_DIR").is_some(),
+            "results dir {dir:?} would depend on the cwd"
+        );
     }
 }

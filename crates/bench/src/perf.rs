@@ -1,0 +1,290 @@
+//! Per-run performance artifacts for CI: a tiny JSON report of the
+//! mini-grid's per-cell medians, plus a differ that flags >10% movement
+//! against the previous run.
+//!
+//! The vendored `serde` shim has no JSON backend (vendor/README.md), so the
+//! report is written and read by hand.  The writer emits one cell per line
+//! and the reader is a line-oriented scanner of exactly that shape — it is
+//! a round-trip format for our own artifact, not a general JSON parser.
+
+/// One (preset, L1 size) row of the CI mini-grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPerf {
+    /// Preset label (e.g. `"CLGP+L0"`). Labels contain no quotes or
+    /// backslashes, so they embed in JSON unescaped.
+    pub preset: String,
+    pub l1: usize,
+    /// Deterministic given seeds and run lengths — any movement at all
+    /// means simulator behaviour changed.
+    pub hmean_ipc: f64,
+    /// Median wall-clock of the row's cells on this host (noisy; only
+    /// large movements are meaningful).
+    pub median_cell_wall_s: f64,
+}
+
+/// A whole CI perf report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    pub schema: u32,
+    pub total_wall_s: f64,
+    pub cells: Vec<CellPerf>,
+}
+
+/// Relative change `new/old - 1`, with a zero/zero as no change and a
+/// from-zero jump as +inf.
+fn rel_delta(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        new / old - 1.0
+    }
+}
+
+impl PerfReport {
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", self.schema));
+        s.push_str(&format!("  \"total_wall_s\": {:.6},\n", self.total_wall_s));
+        // Row count up front: a baseline truncated mid-write must read as
+        // "no baseline", not as a smaller valid report.
+        s.push_str(&format!("  \"n_cells\": {},\n", self.cells.len()));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"preset\": \"{}\", \"l1\": {}, \"hmean_ipc\": {:.6}, \
+                 \"median_cell_wall_s\": {:.6}}}{comma}\n",
+                c.preset, c.l1, c.hmean_ipc, c.median_cell_wall_s
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a report previously written by [`PerfReport::to_json`].
+    /// Returns `None` on anything that does not look like a complete one —
+    /// a future schema bump, or a truncated file whose `n_cells` header
+    /// disagrees with the rows present — so CI treats a stale or damaged
+    /// artifact as "no baseline" rather than silently comparing less.
+    pub fn from_json(text: &str) -> Option<PerfReport> {
+        let schema = scan_num(text, "\"schema\"")? as u32;
+        if schema != 1 {
+            return None;
+        }
+        let total_wall_s = scan_num(text, "\"total_wall_s\"")?;
+        let n_cells = scan_num(text, "\"n_cells\"")? as usize;
+        let mut cells = Vec::new();
+        for line in text.lines() {
+            if !line.contains("\"preset\"") {
+                continue;
+            }
+            cells.push(CellPerf {
+                preset: scan_str(line, "\"preset\"")?,
+                l1: scan_num(line, "\"l1\"")? as usize,
+                hmean_ipc: scan_num(line, "\"hmean_ipc\"")?,
+                median_cell_wall_s: scan_num(line, "\"median_cell_wall_s\"")?,
+            });
+        }
+        if cells.len() != n_cells || cells.is_empty() {
+            return None;
+        }
+        Some(PerfReport {
+            schema,
+            total_wall_s,
+            cells,
+        })
+    }
+}
+
+/// Value of `"key": <number>` after `key`, if present.
+fn scan_num(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Value of `"key": "<string>"` after `key`, if present.
+fn scan_str(text: &str, key: &str) -> Option<String> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Compare `new` against `old`, matching rows by (preset, l1).
+///
+/// Returns `(deltas, warnings)`: every row's movement as a human-readable
+/// line, and the subset that moved by more than 10% — IPC in *either*
+/// direction (the simulator is deterministic, so any IPC movement means
+/// behaviour changed) and median cell wall-clock up (slower).  A row
+/// present in the baseline but missing from `new` also warns: its
+/// regression coverage silently vanished.
+pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
+    let mut deltas = Vec::new();
+    let mut warnings = Vec::new();
+    for prev in &old.cells {
+        if !new
+            .cells
+            .iter()
+            .any(|c| c.preset == prev.preset && c.l1 == prev.l1)
+        {
+            warnings.push(format!(
+                "{} @ {}B: row present in baseline but missing from this run",
+                prev.preset, prev.l1
+            ));
+        }
+    }
+    for c in &new.cells {
+        let Some(prev) = old
+            .cells
+            .iter()
+            .find(|p| p.preset == c.preset && p.l1 == c.l1)
+        else {
+            deltas.push(format!("{} @ {}B: new cell (no baseline)", c.preset, c.l1));
+            continue;
+        };
+        let d_ipc = rel_delta(prev.hmean_ipc, c.hmean_ipc);
+        let d_wall = rel_delta(prev.median_cell_wall_s, c.median_cell_wall_s);
+        deltas.push(format!(
+            "{} @ {}B: hmean_ipc {:.4} -> {:.4} ({:+.1}%), median cell wall {:.4}s -> {:.4}s ({:+.1}%)",
+            c.preset,
+            c.l1,
+            prev.hmean_ipc,
+            c.hmean_ipc,
+            100.0 * d_ipc,
+            prev.median_cell_wall_s,
+            c.median_cell_wall_s,
+            100.0 * d_wall,
+        ));
+        if d_ipc.abs() > 0.10 {
+            warnings.push(format!(
+                "{} @ {}B: hmean IPC moved {:+.1}% ({:.4} -> {:.4})",
+                c.preset,
+                c.l1,
+                100.0 * d_ipc,
+                prev.hmean_ipc,
+                c.hmean_ipc
+            ));
+        }
+        if d_wall > 0.10 {
+            warnings.push(format!(
+                "{} @ {}B: median cell wall-clock up {:.1}% ({:.4}s -> {:.4}s)",
+                c.preset,
+                c.l1,
+                100.0 * d_wall,
+                prev.median_cell_wall_s,
+                c.median_cell_wall_s
+            ));
+        }
+    }
+    (deltas, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ipc: f64, wall: f64) -> PerfReport {
+        PerfReport {
+            schema: 1,
+            total_wall_s: 2.5,
+            cells: vec![
+                CellPerf {
+                    preset: "base+L0".into(),
+                    l1: 1024,
+                    hmean_ipc: ipc,
+                    median_cell_wall_s: wall,
+                },
+                CellPerf {
+                    preset: "CLGP+L0".into(),
+                    l1: 4096,
+                    hmean_ipc: 1.5,
+                    median_cell_wall_s: 0.02,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = report(1.25, 0.0125);
+        let back = PerfReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.schema, 1);
+        assert_eq!(back.cells.len(), 2);
+        assert!((back.total_wall_s - 2.5).abs() < 1e-9);
+        assert_eq!(back.cells[0].preset, "base+L0");
+        assert_eq!(back.cells[0].l1, 1024);
+        assert!((back.cells[0].hmean_ipc - 1.25).abs() < 1e-6);
+        assert!((back.cells[1].median_cell_wall_s - 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn garbage_and_future_schemas_are_no_baseline() {
+        assert!(PerfReport::from_json("").is_none());
+        assert!(PerfReport::from_json("not json at all").is_none());
+        let future = report(1.0, 1.0).to_json().replace(
+            "\"schema\": 1",
+            "\"schema\": 2",
+        );
+        assert!(PerfReport::from_json(&future).is_none());
+    }
+
+    #[test]
+    fn truncated_artifact_is_no_baseline() {
+        // An interrupted cache save that drops cell lines must not read as
+        // a smaller valid report.
+        let full = report(1.0, 1.0).to_json();
+        let cut = full.find("\"CLGP+L0\"").unwrap();
+        assert!(PerfReport::from_json(&full[..cut]).is_none());
+        // Header without any rows is likewise no baseline.
+        let header_only = &full[..full.find("{\"preset\"").unwrap()];
+        assert!(PerfReport::from_json(header_only).is_none());
+    }
+
+    #[test]
+    fn diff_flags_only_large_movement() {
+        let old = report(1.00, 0.0100);
+        // 5% slower wall, 5% lower IPC: reported, not warned.
+        let (deltas, warnings) = diff(&old, &report(0.95, 0.0105));
+        assert_eq!(deltas.len(), 2);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // 15% lower IPC and 20% slower: both warned.
+        let (_, warnings) = diff(&old, &report(0.85, 0.0120));
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        // IPC is deterministic — a large *increase* is behaviour change too.
+        let (_, warnings) = diff(&old, &report(1.30, 0.0080));
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("IPC moved"));
+        // Faster wall-clock alone never warns.
+        let (_, warnings) = diff(&old, &report(1.00, 0.0050));
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn diff_handles_unmatched_cells() {
+        let old = PerfReport {
+            schema: 1,
+            total_wall_s: 0.0,
+            cells: vec![],
+        };
+        let (deltas, warnings) = diff(&old, &report(1.0, 0.01));
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas[0].contains("no baseline"));
+        assert!(warnings.is_empty());
+        // A baseline row that vanished from the new run is a warning: its
+        // coverage silently disappeared.
+        let mut shrunk = report(1.0, 0.01);
+        shrunk.cells.truncate(1);
+        let (_, warnings) = diff(&report(1.0, 0.01), &shrunk);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("missing from this run"));
+    }
+}

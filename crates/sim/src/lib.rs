@@ -17,7 +17,8 @@
 //!   `FDP(+L0)(+PB16)`, `CLGP(+L0)(+PB16)` at both technology nodes.
 //! * [`stats`] — run statistics and aggregation (harmonic means, source
 //!   distributions for Figures 7/8).
-//! * [`runner`] — parallel sweep execution across benchmarks × configs.
+//! * [`runner`] — the flat cell-addressed sweep executor: one
+//!   work-stealing pool over (preset × L1-size × benchmark) cells.
 
 pub mod backend;
 pub mod config;
@@ -28,5 +29,8 @@ pub mod stats;
 pub use backend::{BackEnd, BackendConfig, BackendStats};
 pub use config::{ConfigPreset, SimConfig};
 pub use engine::{Engine, PredictorKind};
-pub use runner::{run_config_over, run_grid, run_one, GridResult};
+pub use runner::{
+    pool_map, pool_threads, run_cells, run_cells_with_threads, run_config_over, run_grid, run_one,
+    CellGrid, CellResult, GridResult, SweepCell,
+};
 pub use stats::{harmonic_mean, SimStats};

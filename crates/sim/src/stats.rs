@@ -46,11 +46,17 @@ impl SimStats {
 
 /// Harmonic mean — the paper aggregates per-benchmark IPC with HMEAN
 /// (Figure 6's rightmost bars).
+///
+/// A non-positive value (a hung config reporting IPC = 0) makes the whole
+/// mean 0.0: the harmonic mean of a set containing zero *is* zero, and
+/// clamping the reciprocal instead would mask a dead benchmark inside a
+/// plausible-looking aggregate.  [`crate::GridResult::zero_ipc_benches`]
+/// names the culprits.
 pub fn harmonic_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return 0.0;
     }
-    let denom: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    let denom: f64 = values.iter().map(|v| 1.0 / v).sum();
     values.len() as f64 / denom
 }
 
@@ -89,6 +95,14 @@ mod tests {
         // HMEAN is dominated by the slowest benchmark.
         let h2 = harmonic_mean(&[0.1, 2.0, 2.0]);
         assert!(h2 < 0.3);
+    }
+
+    #[test]
+    fn hmean_propagates_a_hung_config_as_zero() {
+        // A zeroed benchmark must not hide inside a plausible aggregate.
+        assert_eq!(harmonic_mean(&[0.0, 2.0, 2.0]), 0.0);
+        assert_eq!(harmonic_mean(&[-1.0, 2.0]), 0.0);
+        assert_eq!(harmonic_mean(&[0.0]), 0.0);
     }
 
     #[test]

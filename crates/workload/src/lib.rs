@@ -46,3 +46,20 @@ pub mod trace_io;
 pub use codegen::{build, BranchModel, MemModel, Workload};
 pub use exec::{DynInst, TraceGenerator};
 pub use profile::{specint2000, BenchmarkProfile};
+
+/// Miniaturized SPECint2000 workloads — the first `n` profiles with code
+/// footprints clamped small — for tests and examples that need whole sweep
+/// grids to simulate in milliseconds.  One definition so every determinism
+/// suite exercises the same fixture.
+pub fn specint_mini(n: usize, seed: u64) -> Vec<Workload> {
+    let mut profiles = specint2000();
+    profiles.truncate(n);
+    profiles
+        .iter_mut()
+        .map(|p| {
+            p.i_footprint_kb = p.i_footprint_kb.min(8);
+            p.n_funcs = p.n_funcs.min(12);
+            build(p, seed)
+        })
+        .collect()
+}

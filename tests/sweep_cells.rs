@@ -1,0 +1,203 @@
+//! Properties of the flat cell-addressed sweep runner: the cell ↔ grid
+//! position mapping is a bijection, and cell evaluation is bit-exact under
+//! any thread count and any cell order — the invariant that makes the grid
+//! shardable across threads today and processes later.
+
+use fetch_prestaging::prelude::*;
+use fetch_prestaging::sim::{run_cells_with_threads, CellResult};
+use prestage_workload::Workload;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_workloads(n: usize) -> Vec<Workload> {
+    prestage_workload::specint_mini(n, 5)
+}
+
+fn fisher_yates<T>(items: &mut [T], seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Bit-exact equality of the stats fields determinism covers (never wall
+/// time, which is measurement).
+fn assert_stats_eq(a: &CellResult, b: &CellResult, what: &str) {
+    assert_eq!(a.cell, b.cell, "{what}: compared different cells");
+    assert_eq!(a.stats.cycles, b.stats.cycles, "{what}: {:?}", a.cell);
+    assert_eq!(a.stats.committed, b.stats.committed, "{what}: {:?}", a.cell);
+    assert_eq!(a.stats.redirects, b.stats.redirects, "{what}: {:?}", a.cell);
+    assert_eq!(a.stats.front, b.stats.front, "{what}: {:?}", a.cell);
+}
+
+proptest! {
+    /// cell-id ↔ grid-position round-trips for arbitrary grid shapes.
+    #[test]
+    fn cell_position_bijection(
+        preset_picks in prop::collection::vec(0usize..10, 1..6),
+        size_picks in prop::collection::vec(1usize..257, 1..6),
+        n_bench in 1usize..13,
+        exec_seed in 0u64..1000,
+        tech_pick in 0usize..2,
+    ) {
+        let mut presets: Vec<ConfigPreset> =
+            preset_picks.iter().map(|&i| ConfigPreset::all()[i]).collect();
+        let mut seen = Vec::new();
+        presets.retain(|p| { let new = !seen.contains(p); seen.push(*p); new });
+        let mut sizes: Vec<usize> = size_picks.iter().map(|&s| s * 256).collect();
+        let mut seen = Vec::new();
+        sizes.retain(|s| { let new = !seen.contains(s); seen.push(*s); new });
+        let tech = [TechNode::T090, TechNode::T045][tech_pick];
+
+        let grid = CellGrid::new(presets.clone(), tech, sizes.clone(), n_bench, exec_seed);
+        prop_assert_eq!(grid.n_cells(), presets.len() * sizes.len() * n_bench);
+        let cells = grid.cells();
+        prop_assert_eq!(cells.len(), grid.n_cells());
+        for (flat, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(grid.cell_at(flat), *cell);
+            prop_assert_eq!(grid.index_of(cell), Some(flat));
+            // A cell from a different sweep never aliases into this grid.
+            let mut foreign = *cell;
+            foreign.exec_seed = exec_seed + 1;
+            prop_assert_eq!(grid.index_of(&foreign), None);
+            let mut foreign = *cell;
+            foreign.bench_idx = n_bench;
+            prop_assert_eq!(grid.index_of(&foreign), None);
+        }
+    }
+}
+
+#[test]
+fn run_cells_is_invariant_under_thread_count_and_shuffle() {
+    let workloads = tiny_workloads(2);
+    let grid = CellGrid::new(
+        vec![ConfigPreset::BaseL0, ConfigPreset::ClgpL0],
+        TechNode::T045,
+        vec![1 << 10, 4 << 10],
+        workloads.len(),
+        7,
+    );
+    let cells = grid.cells();
+    let configure = |c: &SweepCell| c.config().with_insts(1_000, 5_000);
+
+    // Serial reference: one thread, flat order.
+    let reference = run_cells_with_threads(&cells, &workloads, configure, 1);
+
+    // Every thread count gives bit-exact results in the same order.
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for threads in [1, 2, avail, avail + 3] {
+        let got = run_cells_with_threads(&cells, &workloads, configure, threads);
+        assert_eq!(got.len(), reference.len());
+        for (a, b) in got.iter().zip(&reference) {
+            assert_stats_eq(a, b, &format!("threads={threads}"));
+        }
+    }
+
+    // Any shuffle of the work list merges back to the same ordered grid.
+    let reference_grid = grid.merge(reference, &workloads);
+    for shuffle_seed in [1u64, 2, 3] {
+        let mut shuffled = cells.clone();
+        fisher_yates(&mut shuffled, shuffle_seed);
+        let results = run_cells_with_threads(&shuffled, &workloads, configure, 2);
+        let merged = grid.merge(results, &workloads);
+        for (row_a, row_b) in merged.iter().zip(&reference_grid) {
+            for (a, b) in row_a.iter().zip(row_b) {
+                for ((n1, s1), (n2, s2)) in a.per_bench.iter().zip(&b.per_bench) {
+                    assert_eq!(n1, n2, "shuffle seed {shuffle_seed}");
+                    assert_eq!(s1.cycles, s2.cycles, "shuffle seed {shuffle_seed}: {n1}");
+                    assert_eq!(s1.committed, s2.committed, "shuffle seed {shuffle_seed}: {n1}");
+                }
+            }
+        }
+    }
+
+    // Sharding: splitting the work list and merging the shard unions is the
+    // same grid (the ROADMAP's multi-process scheme in miniature).
+    let (left, right) = cells.split_at(cells.len() / 2);
+    let mut shards = run_cells_with_threads(left, &workloads, configure, 2);
+    shards.extend(run_cells_with_threads(right, &workloads, configure, 2));
+    let merged = grid.merge(shards, &workloads);
+    for (row_a, row_b) in merged.iter().zip(&reference_grid) {
+        for (a, b) in row_a.iter().zip(row_b) {
+            for ((_, s1), (_, s2)) in a.per_bench.iter().zip(&b.per_bench) {
+                assert_eq!(s1.cycles, s2.cycles, "sharded merge diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_flattened_grid_matches_serial_engine_runs() {
+    // The determinism the figures depend on, for a full multi-row grid —
+    // not just one config row: every cell of the parallel flattened sweep
+    // equals a fresh serial Engine run of that cell.
+    let workloads = tiny_workloads(3);
+    let grid = CellGrid::new(
+        vec![ConfigPreset::Base, ConfigPreset::Fdp, ConfigPreset::ClgpL0],
+        TechNode::T045,
+        vec![512, 2 << 10],
+        workloads.len(),
+        9,
+    );
+    let configure = |c: &SweepCell| c.config().with_insts(1_000, 5_000);
+    let results = run_cells_with_threads(&grid.cells(), &workloads, configure, 4);
+    for r in &results {
+        let serial = Engine::new(configure(&r.cell), &workloads[r.cell.bench_idx], r.cell.exec_seed)
+            .run();
+        assert_eq!(r.stats.cycles, serial.cycles, "{:?}", r.cell);
+        assert_eq!(r.stats.committed, serial.committed, "{:?}", r.cell);
+        assert_eq!(r.stats.redirects, serial.redirects, "{:?}", r.cell);
+        assert_eq!(r.stats.front, serial.front, "{:?}", r.cell);
+    }
+}
+
+#[test]
+fn whole_grid_wall_clock_smoke() {
+    // Smoke check that the flat pool actually runs the grid concurrently:
+    // the parallel sweep must never be pathologically slower than serial
+    // (which would indicate the pool serialising on a lock). Not a
+    // benchmark — the generous bound only catches catastrophe.
+    let workloads = tiny_workloads(2);
+    let grid = CellGrid::new(
+        vec![ConfigPreset::BasePipelined, ConfigPreset::ClgpL0],
+        TechNode::T045,
+        vec![1 << 10, 4 << 10, 16 << 10],
+        workloads.len(),
+        3,
+    );
+    let configure = |c: &SweepCell| c.config().with_insts(2_000, 20_000);
+    let cells = grid.cells();
+
+    let t0 = std::time::Instant::now();
+    let serial = run_cells_with_threads(&cells, &workloads, configure, 1);
+    let serial_wall = t0.elapsed();
+
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let t0 = std::time::Instant::now();
+    let par = run_cells_with_threads(&cells, &workloads, configure, avail);
+    let par_wall = t0.elapsed();
+
+    eprintln!(
+        "whole-grid smoke: {} cells, serial {:.3}s, {} threads {:.3}s ({:.2}x)",
+        cells.len(),
+        serial_wall.as_secs_f64(),
+        avail,
+        par_wall.as_secs_f64(),
+        serial_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9),
+    );
+    // Absolute ceiling rather than a serial-relative ratio: a ratio flakes
+    // on loaded CI runners, while this generous bound still catches the
+    // catastrophe class (a pool serialising on a lock or livelocking).
+    assert!(
+        par_wall.as_secs_f64() < 60.0,
+        "parallel mini-grid took {par_wall:?} — pool pathologically slow"
+    );
+    // And concurrency never costs correctness.
+    for (a, b) in par.iter().zip(&serial) {
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{:?}", a.cell);
+    }
+    // Per-cell wall times are recorded for load-balance diagnostics.
+    assert!(par.iter().all(|r| r.wall.as_nanos() > 0));
+}

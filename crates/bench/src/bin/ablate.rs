@@ -7,18 +7,26 @@
 //!   the duplication CLGP avoids).
 //! * `filter`       — skip prestaging L1-resident lines (give up the
 //!   hit-latency avoidance, FDP-style).
+//!
+//! The ablation flags have no preset identity, so this binary derives its
+//! workloads, run lengths and seeds from an `ExperimentSpec` and mutates
+//! the spec-built base config per variant.
 
-use prestage_bench::{exec_seed, note_result, results_dir, run_lengths, workloads};
-use prestage_cacti::TechNode;
-use prestage_sim::{run_grid, ConfigPreset, SimConfig};
+use prestage_bench::{note_result, results_dir};
+use prestage_sim::{run_grid, ConfigPreset, ExperimentSpec, SimConfig};
 use std::io::Write;
 
 fn main() {
-    let w = workloads();
-    let tech = TechNode::T045;
     let l1 = 4 << 10;
-    let (warm, meas) = run_lengths();
-    let base_cfg = SimConfig::preset(ConfigPreset::ClgpL0, tech, l1).with_insts(warm, meas);
+    let spec = ExperimentSpec {
+        presets: vec![ConfigPreset::ClgpL0],
+        l1_sizes: vec![l1],
+        ..ExperimentSpec::from_env()
+    };
+    let w = spec
+        .build_workloads()
+        .unwrap_or_else(|e| panic!("invalid experiment spec: {e}"));
+    let base_cfg = spec.sim_config(ConfigPreset::ClgpL0, l1);
 
     let variants: Vec<(&str, SimConfig)> = vec![
         ("CLGP (full)", base_cfg),
@@ -56,7 +64,7 @@ fn main() {
     writeln!(csv, "variant,hmean_ipc,pb_share").unwrap();
     // All five variants in one run_grid call on the shared cell pool.
     let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| *c).collect();
-    let grids = run_grid(&configs, &w, exec_seed());
+    let grids = run_grid(&configs, &w, spec.exec_seed);
     let mut full = None;
     for ((name, _), r) in variants.iter().zip(&grids) {
         let h = r.hmean_ipc();

@@ -3,19 +3,25 @@
 //! against the previous run's artifact.
 //!
 //! Per (preset, size) row it records the HMEAN IPC — deterministic given
-//! seeds and run lengths, so any movement means simulator behaviour
-//! changed — and the median per-cell wall-clock, the bench-medians artifact
-//! the ROADMAP asks CI to track.  Movement beyond 10% prints GitHub
-//! `::warning::` annotations; the exit status stays 0 so noisy runners
-//! don't block merges.
+//! seeds and run lengths, so any movement at all means simulator behaviour
+//! changed — and the median per-cell wall-clock.  If the Criterion shim
+//! left a medians file (`<results dir>/bench_medians.tsv`, written when
+//! `cargo bench` runs with `CRITERION_MEDIANS_FILE` set), its `engine/*` /
+//! `bpred/*` micro-bench medians are folded into the same artifact — and
+//! the file is consumed, so stale medians from deleted benchmarks cannot
+//! leak into later runs — so one file tracks both grid IPC and hot-path
+//! latencies.  Movement beyond the bands prints GitHub `::warning::`
+//! annotations; the exit status stays 0 so noisy runners don't block
+//! merges.
 //!
-//! Honours the usual `PRESTAGE_*` knobs; a previous artifact can also be
-//! supplied explicitly via `PRESTAGE_PREV_JSON=<path>`.
+//! The experiment itself is an `ExperimentSpec` (honouring the usual
+//! `PRESTAGE_*` override layer); a previous artifact can be supplied
+//! explicitly via `PRESTAGE_PREV_JSON=<path>`.
 
-use prestage_bench::perf::{diff, CellPerf, PerfReport};
-use prestage_bench::{config, exec_seed, results_dir, size_label, workloads};
+use prestage_bench::perf::{diff, parse_medians_tsv, CellPerf, PerfReport};
+use prestage_bench::{results_dir, size_label};
 use prestage_cacti::TechNode;
-use prestage_sim::{run_cells, CellGrid, ConfigPreset};
+use prestage_sim::{run_spec_cells, CellGrid, ConfigPreset, ExperimentSpec};
 use std::io::Write;
 
 /// True median: mean of the two middle elements for even counts (the CI
@@ -30,18 +36,44 @@ fn median(sorted: &[f64]) -> f64 {
 }
 
 fn main() {
-    let presets = [ConfigPreset::BaseL0, ConfigPreset::ClgpL0];
-    let sizes = [1 << 10, 4 << 10, 16 << 10];
-    let tech = TechNode::T045;
-    let w = workloads();
-    if w.is_empty() {
-        eprintln!("ci_grid: PRESTAGE_BENCH matched no benchmarks — nothing to measure");
+    let spec = ExperimentSpec {
+        presets: vec![ConfigPreset::BaseL0, ConfigPreset::ClgpL0],
+        tech: TechNode::T045,
+        l1_sizes: vec![1 << 10, 4 << 10, 16 << 10],
+        ..ExperimentSpec::from_env()
+    };
+    let grid = CellGrid::from_spec(&spec).unwrap_or_else(|e| {
+        eprintln!("ci_grid: invalid spec: {e}");
         std::process::exit(2);
-    }
+    });
 
-    let grid = CellGrid::new(presets.to_vec(), tech, sizes.to_vec(), w.len(), exec_seed());
+    // Read the Criterion shim's micro-bench medians *before* the grid run:
+    // a damaged file must fail in milliseconds, not after minutes of
+    // simulation.  The file is consumed (deleted after the artifact is
+    // written), so a benchmark removed from the bench suite cannot leak a
+    // stale median into later runs — re-run `cargo bench` with
+    // CRITERION_MEDIANS_FILE to regenerate it.
+    let medians_path = results_dir().join("bench_medians.tsv");
+    let medians_text = std::fs::read_to_string(&medians_path).ok();
+    let benches = match &medians_text {
+        Some(text) => match parse_medians_tsv(text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ci_grid: damaged medians file {}: {e}", medians_path.display());
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!(
+                "no micro-bench medians at {} — grid rows only",
+                medians_path.display()
+            );
+            Vec::new()
+        }
+    };
+
     let t0 = std::time::Instant::now();
-    let results = run_cells(&grid.cells(), &w, |c| config(c.preset, c.tech, c.l1));
+    let results = run_spec_cells(&spec, &grid.cells()).expect("validated above");
     let total_wall_s = t0.elapsed().as_secs_f64();
 
     // Per-row medians, grouped by the cells' own identity rather than any
@@ -50,10 +82,11 @@ fn main() {
         .iter()
         .map(|r| (r.cell, r.wall.as_secs_f64()))
         .collect();
-    let merged = grid.merge(results, &w);
+    let names = spec.bench_names().expect("validated above");
+    let merged = grid.merge_named(results, &names);
     let mut cells = Vec::new();
-    for (pi, &preset) in presets.iter().enumerate() {
-        for (si, &l1) in sizes.iter().enumerate() {
+    for (pi, &preset) in spec.presets.iter().enumerate() {
+        for (si, &l1) in spec.l1_sizes.iter().enumerate() {
             let mut walls: Vec<f64> = cell_walls
                 .iter()
                 .filter(|(c, _)| c.preset == preset && c.l1 == l1)
@@ -68,10 +101,11 @@ fn main() {
             });
         }
     }
+
     let report = PerfReport {
-        schema: 1,
         total_wall_s,
         cells,
+        benches,
     };
 
     println!("# CI mini-grid ({} cells, {total_wall_s:.2}s)", grid.n_cells());
@@ -83,6 +117,9 @@ fn main() {
             c.hmean_ipc,
             c.median_cell_wall_s
         );
+    }
+    for b in &report.benches {
+        println!("{:<30} median {:.1} ns/iter", b.name, b.median_ns);
     }
 
     let path = results_dir().join("ci_grid.json");
@@ -104,7 +141,7 @@ fn main() {
                 println!("::warning::ci_grid: {warn}");
             }
             if warnings.is_empty() {
-                println!("no movement beyond 10%");
+                println!("no movement beyond the warning bands");
             }
         }
         None => println!("\nno previous artifact at {} — baseline run", prev_path.display()),
@@ -113,5 +150,11 @@ fn main() {
     std::fs::create_dir_all(results_dir()).expect("results dir creatable");
     let mut f = std::fs::File::create(&path).expect("artifact writable");
     f.write_all(report.to_json().as_bytes()).expect("artifact written");
+    // Consume the medians file now that it is folded into the artifact
+    // (see the comment at the read site) — whatever it contained, so even
+    // a degenerate file cannot linger.
+    if medians_text.is_some() {
+        let _ = std::fs::remove_file(&medians_path);
+    }
     println!("\nwrote {}", path.display());
 }

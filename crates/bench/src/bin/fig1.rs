@@ -1,25 +1,7 @@
 //! Figure 1: effect of the L1 I-cache latency on processor performance at
 //! 0.045 µm — `ideal` (all sizes one cycle) vs `pipelined` vs `base + L0`
-//! vs `base`.
-
-use prestage_bench::{ipc_sweep, print_sweep, workloads, write_sweep_csv, L1_SIZES};
-use prestage_cacti::TechNode;
-use prestage_sim::ConfigPreset;
+//! vs `base`.  The declaration lives in `prestage_bench::figures`.
 
 fn main() {
-    let w = workloads();
-    let presets = [
-        ConfigPreset::Ideal,
-        ConfigPreset::BasePipelined,
-        ConfigPreset::BaseL0,
-        ConfigPreset::Base,
-    ];
-    let rows = ipc_sweep(&presets, &L1_SIZES, TechNode::T045, &w);
-    print_sweep(
-        "Figure 1 — L1 latency vs IPC (0.045um, HMEAN over SPECint2000)",
-        &rows,
-        &L1_SIZES,
-    );
-    let path = write_sweep_csv("fig1", &rows, &L1_SIZES).expect("write fig1.csv");
-    eprintln!("wrote {}", path.display());
+    prestage_bench::figures::run_figure("fig1");
 }

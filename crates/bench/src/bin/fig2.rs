@@ -1,14 +1,6 @@
-//! Figure 2(b): FDP with and without an L0 cache (0.045 µm).
-
-use prestage_bench::{ipc_sweep, print_sweep, workloads, write_sweep_csv, L1_SIZES};
-use prestage_cacti::TechNode;
-use prestage_sim::ConfigPreset;
+//! Figure 2(b): FDP with and without an L0 cache (0.045 µm).  The
+//! declaration lives in `prestage_bench::figures`.
 
 fn main() {
-    let w = workloads();
-    let presets = [ConfigPreset::FdpL0, ConfigPreset::Fdp];
-    let rows = ipc_sweep(&presets, &L1_SIZES, TechNode::T045, &w);
-    print_sweep("Figure 2(b) — FDP with/without L0 (0.045um)", &rows, &L1_SIZES);
-    let path = write_sweep_csv("fig2", &rows, &L1_SIZES).expect("write fig2.csv");
-    eprintln!("wrote {}", path.display());
+    prestage_bench::figures::run_figure("fig2");
 }

@@ -3,34 +3,13 @@
 //!
 //! `--tech 90` reproduces Figure 5(a) (0.09 µm, 8-entry pre-buffer);
 //! `--tech 45` (default) reproduces Figure 5(b) (0.045 µm, 4-entry).
-
-use prestage_bench::{ipc_sweep, print_sweep, workloads, write_sweep_csv, L1_SIZES};
-use prestage_cacti::TechNode;
-use prestage_sim::ConfigPreset;
+//! The declarations live in `prestage_bench::figures` as `fig5a`/`fig5b`.
 
 fn main() {
     let arg = std::env::args().nth(2).or_else(|| std::env::args().nth(1));
-    let tech = match arg.as_deref() {
-        Some("90") | Some("--tech=90") => TechNode::T090,
-        _ => TechNode::T045,
+    let name = match arg.as_deref() {
+        Some("90") | Some("--tech=90") => "fig5a",
+        _ => "fig5b",
     };
-    let sub = if tech == TechNode::T090 { "a" } else { "b" };
-    let w = workloads();
-    let presets = [
-        ConfigPreset::ClgpL0Pb16,
-        ConfigPreset::ClgpL0,
-        ConfigPreset::FdpL0Pb16,
-        ConfigPreset::FdpL0,
-        ConfigPreset::BasePipelined,
-        ConfigPreset::BaseL0,
-    ];
-    let rows = ipc_sweep(&presets, &L1_SIZES, tech, &w);
-    print_sweep(
-        &format!("Figure 5({sub}) — all techniques at {}", tech.label()),
-        &rows,
-        &L1_SIZES,
-    );
-    let path = write_sweep_csv(&format!("fig5{sub}"), &rows, &L1_SIZES)
-        .unwrap_or_else(|e| panic!("write fig5{sub}.csv: {e}"));
-    eprintln!("wrote {}", path.display());
+    prestage_bench::figures::run_figure(name);
 }

@@ -1,74 +1,7 @@
 //! Figure 6: per-benchmark IPC for the best configuration of the baseline,
-//! FDP and CLGP (8 KB L1 I-cache, 0.045 µm).
-
-use prestage_bench::{config, exec_seed, note_result, results_dir, workloads};
-use prestage_cacti::TechNode;
-use prestage_sim::{harmonic_mean, run_grid, ConfigPreset, SimConfig};
-use std::io::Write;
+//! FDP and CLGP (8 KB L1 I-cache, 0.045 µm).  The declaration lives in
+//! `prestage_bench::figures`.
 
 fn main() {
-    let w = workloads();
-    let tech = TechNode::T045;
-    let l1 = 8 << 10;
-    let presets = [
-        ConfigPreset::BasePipelined,
-        ConfigPreset::FdpL0Pb16,
-        ConfigPreset::ClgpL0Pb16,
-    ];
-    // All three presets in one run_grid call on the shared cell pool.
-    let configs: Vec<SimConfig> = presets.iter().map(|&p| config(p, tech, l1)).collect();
-    let results = run_grid(&configs, &w, exec_seed());
-    eprintln!("  ran {} presets", presets.len());
-
-    println!("\n# Figure 6 — per-benchmark IPC (8KB L1, 0.045um)");
-    print!("{:<10}", "bench");
-    for p in &presets {
-        print!(" {:>15}", p.label());
-    }
-    println!();
-    let mut csv = String::from("bench");
-    for p in &presets {
-        csv.push_str(&format!(",{}", p.label()));
-    }
-    csv.push('\n');
-    for (i, (name, _)) in results[0].per_bench.iter().enumerate() {
-        print!("{:<10}", name);
-        csv.push_str(name);
-        for r in &results {
-            let ipc = r.per_bench[i].1.ipc();
-            print!(" {:>15.3}", ipc);
-            csv.push_str(&format!(",{ipc:.4}"));
-        }
-        println!();
-        csv.push('\n');
-    }
-    print!("{:<10}", "HMEAN");
-    csv.push_str("HMEAN");
-    let mut hmeans = Vec::new();
-    for r in &results {
-        let v: Vec<f64> = r.per_bench.iter().map(|(_, s)| s.ipc()).collect();
-        let h = harmonic_mean(&v);
-        hmeans.push(h);
-        print!(" {:>15.3}", h);
-        csv.push_str(&format!(",{h:.4}"));
-    }
-    println!();
-    csv.push('\n');
-
-    std::fs::create_dir_all(results_dir()).unwrap();
-    let mut f = std::fs::File::create(results_dir().join("fig6.csv")).unwrap();
-    f.write_all(csv.as_bytes()).unwrap();
-
-    note_result(
-        "fig6",
-        &format!(
-            "HMEAN base-pipelined {:.3}, FDP+L0+PB16 {:.3}, CLGP+L0+PB16 {:.3} \
-             (CLGP over FDP {:+.1}%, over base {:+.1}%)",
-            hmeans[0],
-            hmeans[1],
-            hmeans[2],
-            (hmeans[2] / hmeans[1] - 1.0) * 100.0,
-            (hmeans[2] / hmeans[0] - 1.0) * 100.0
-        ),
-    );
+    prestage_bench::figures::run_figure("fig6");
 }

@@ -1,82 +1,10 @@
 //! Figure 7: distribution of fetch sources for FDP vs CLGP across L1
 //! sizes at 0.045 µm — (a) without, (b) with an L0 cache.
 //!
-//! `--l0 on` selects Figure 7(b); default reproduces 7(a).
-
-use prestage_bench::{config, exec_seed, results_dir, size_label, workloads, L1_SIZES};
-use prestage_cacti::TechNode;
-use prestage_core::FrontStats;
-use prestage_sim::{run_grid, ConfigPreset, SimConfig};
-use std::io::Write;
-
-fn shares(stats: &[FrontStats]) -> [f64; 5] {
-    let mut acc = [0.0; 5];
-    for f in stats {
-        acc[0] += f.fetch_share(f.fetch_pb);
-        acc[1] += f.fetch_share(f.fetch_l0);
-        acc[2] += f.fetch_share(f.fetch_l1);
-        acc[3] += f.fetch_share(f.fetch_l2);
-        acc[4] += f.fetch_share(f.fetch_mem);
-    }
-    acc.map(|x| 100.0 * x / stats.len() as f64)
-}
+//! `--l0 on` selects Figure 7(b); default reproduces 7(a).  The
+//! declarations live in `prestage_bench::figures` as `fig7a`/`fig7b`.
 
 fn main() {
     let with_l0 = std::env::args().any(|a| a == "on" || a == "--l0=on");
-    let sub = if with_l0 { "b" } else { "a" };
-    let (fdp, clgp) = if with_l0 {
-        (ConfigPreset::FdpL0, ConfigPreset::ClgpL0)
-    } else {
-        (ConfigPreset::Fdp, ConfigPreset::Clgp)
-    };
-    let w = workloads();
-    let tech = TechNode::T045;
-
-    println!("\n# Figure 7({sub}) — fetch source distribution (%, 0.045um)");
-    println!(
-        "{:<8} {:>6} | {:>6} {:>6} {:>6} {:>6} {:>6}",
-        "config", "L1", "PB", "il0", "il1", "ul2", "Mem"
-    );
-    std::fs::create_dir_all(results_dir()).unwrap();
-    let mut csv = std::fs::File::create(results_dir().join(format!("fig7{sub}.csv"))).unwrap();
-    writeln!(csv, "config,l1,pb,il0,il1,ul2,mem").unwrap();
-    // One run_grid over every (preset, size) row: the whole figure shares
-    // the flat cell pool instead of resynchronising per row.
-    let presets = [("FDP", fdp), ("CLGP", clgp)];
-    let combos: Vec<(&str, usize)> = presets
-        .iter()
-        .flat_map(|&(name, _)| L1_SIZES.iter().map(move |&size| (name, size)))
-        .collect();
-    let configs: Vec<SimConfig> = presets
-        .iter()
-        .flat_map(|&(_, p)| L1_SIZES.iter().map(move |&size| config(p, tech, size)))
-        .collect();
-    let grids = run_grid(&configs, &w, exec_seed());
-    eprintln!("  swept {} rows", grids.len());
-    for ((name, size), r) in combos.iter().zip(&grids) {
-        let st: Vec<_> = r.per_bench.iter().map(|(_, s)| s.front).collect();
-        let sh = shares(&st);
-        println!(
-            "{:<8} {:>6} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
-            name,
-            size_label(*size),
-            sh[0],
-            sh[1],
-            sh[2],
-            sh[3],
-            sh[4]
-        );
-        writeln!(
-            csv,
-            "{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
-            name,
-            size_label(*size),
-            sh[0],
-            sh[1],
-            sh[2],
-            sh[3],
-            sh[4]
-        )
-        .unwrap();
-    }
+    prestage_bench::figures::run_figure(if with_l0 { "fig7b" } else { "fig7a" });
 }

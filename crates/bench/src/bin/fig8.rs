@@ -1,66 +1,7 @@
 //! Figure 8: distribution of prefetch sources (where the line was found
 //! when the prefetch request was processed) for FDP vs CLGP, 0.045 µm.
-
-use prestage_bench::{config, exec_seed, results_dir, size_label, workloads, L1_SIZES};
-use prestage_cacti::TechNode;
-use prestage_sim::{run_grid, ConfigPreset, SimConfig};
-use std::io::Write;
+//! The declaration lives in `prestage_bench::figures`.
 
 fn main() {
-    let w = workloads();
-    let tech = TechNode::T045;
-    println!("\n# Figure 8 — prefetch source distribution (%, 0.045um)");
-    println!(
-        "{:<8} {:>6} | {:>6} {:>6} {:>6} {:>6}",
-        "config", "L1", "PB", "il1", "ul2", "Mem"
-    );
-    std::fs::create_dir_all(results_dir()).unwrap();
-    let mut csv = std::fs::File::create(results_dir().join("fig8.csv")).unwrap();
-    writeln!(csv, "config,l1,pb,il1,ul2,mem").unwrap();
-    // One run_grid over every (preset, size) row: the whole figure shares
-    // the flat cell pool instead of resynchronising per row.
-    let presets = [("FDP", ConfigPreset::Fdp), ("CLGP", ConfigPreset::Clgp)];
-    let combos: Vec<(&str, usize)> = presets
-        .iter()
-        .flat_map(|&(name, _)| L1_SIZES.iter().map(move |&size| (name, size)))
-        .collect();
-    let configs: Vec<SimConfig> = presets
-        .iter()
-        .flat_map(|&(_, p)| L1_SIZES.iter().map(move |&size| config(p, tech, size)))
-        .collect();
-    let grids = run_grid(&configs, &w, exec_seed());
-    eprintln!("  swept {} rows", grids.len());
-    for (&(name, size), r) in combos.iter().zip(&grids) {
-        let mut acc = [0.0f64; 4];
-        for (_, s) in &r.per_bench {
-            let f = s.front;
-            let total = f.total_prefetch_requests().max(1) as f64;
-            acc[0] += f.prefetch_from_pb as f64 / total;
-            acc[1] += f.prefetch_from_l1 as f64 / total;
-            acc[2] += f.prefetch_from_l2 as f64 / total;
-            acc[3] += f.prefetch_from_mem as f64 / total;
-        }
-        let n = r.per_bench.len() as f64;
-        let sh = acc.map(|x| 100.0 * x / n);
-        println!(
-            "{:<8} {:>6} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
-            name,
-            size_label(size),
-            sh[0],
-            sh[1],
-            sh[2],
-            sh[3]
-        );
-        writeln!(
-            csv,
-            "{},{},{:.2},{:.2},{:.2},{:.2}",
-            name,
-            size_label(size),
-            sh[0],
-            sh[1],
-            sh[2],
-            sh[3]
-        )
-        .unwrap();
-    }
+    prestage_bench::figures::run_figure("fig8");
 }

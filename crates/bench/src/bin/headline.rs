@@ -7,33 +7,41 @@
 //!   PB16 at 0.09 µm) matches a 16 KB pipelined I-cache — 6.4x the budget.
 //! * Fetch-source headline: ≥86% of fetches from the prestage buffer
 //!   (≈95% from one-cycle sources with an L0).
+//!
+//! Every section is a derived `ExperimentSpec` — the base spec (with the
+//! environment's overrides) re-pointed at the section's presets and sizes.
 
-use prestage_bench::{config, exec_seed, note_result, workloads};
+use prestage_bench::{note_result, size_label, L1_SIZES};
 use prestage_cacti::TechNode;
-use prestage_sim::{run_config_over, run_grid, ConfigPreset};
-
-fn hmean(preset: ConfigPreset, tech: TechNode, l1: usize, w: &[prestage_workload::Workload]) -> f64 {
-    run_config_over(config(preset, tech, l1), w, exec_seed()).hmean_ipc()
-}
+use prestage_sim::{try_run_spec_over, ConfigPreset, ExperimentSpec, GridResult};
 
 fn main() {
-    let w = workloads();
+    let base = ExperimentSpec::from_env();
+    // One workload build shared by every section's derived spec — the
+    // synthetic program synthesis is the expensive step.
+    let w = base
+        .build_workloads()
+        .unwrap_or_else(|e| panic!("invalid experiment spec: {e}"));
+    let run = |spec: &ExperimentSpec| -> Vec<Vec<GridResult>> {
+        try_run_spec_over(spec, &w).unwrap_or_else(|e| panic!("invalid experiment spec: {e}"))
+    };
+
     for tech in [TechNode::T090, TechNode::T045] {
-        let l1 = 4 << 10;
-        // All six presets in one run_grid call on the shared cell pool.
-        let presets = [
-            ConfigPreset::ClgpL0Pb16,
-            ConfigPreset::FdpL0Pb16,
-            ConfigPreset::ClgpL0,
-            ConfigPreset::FdpL0,
-            ConfigPreset::BasePipelined,
-            ConfigPreset::BaseL0,
-        ];
-        let configs: Vec<_> = presets.iter().map(|&p| config(p, tech, l1)).collect();
-        let hs: Vec<f64> = run_grid(&configs, &w, exec_seed())
-            .iter()
-            .map(|r| r.hmean_ipc())
-            .collect();
+        // All six presets at 4 KB in one grid on the shared cell pool.
+        let spec = ExperimentSpec {
+            presets: vec![
+                ConfigPreset::ClgpL0Pb16,
+                ConfigPreset::FdpL0Pb16,
+                ConfigPreset::ClgpL0,
+                ConfigPreset::FdpL0,
+                ConfigPreset::BasePipelined,
+                ConfigPreset::BaseL0,
+            ],
+            tech,
+            l1_sizes: vec![4 << 10],
+            ..base.clone()
+        };
+        let hs: Vec<f64> = run(&spec).iter().map(|row| row[0].hmean_ipc()).collect();
         let (clgp16, fdp16, clgp, fdp, pipe, base_l0) =
             (hs[0], hs[1], hs[2], hs[3], hs[4], hs[5]);
         note_result(
@@ -58,16 +66,28 @@ fn main() {
     }
 
     // Budget equivalence at 0.09um: CLGP 2.5KB total vs pipelined caches.
-    let tech = TechNode::T090;
-    let clgp_1k = hmean(ConfigPreset::ClgpL0Pb16, tech, 1 << 10, &w);
+    let clgp_1k = run(&ExperimentSpec {
+        presets: vec![ConfigPreset::ClgpL0Pb16],
+        tech: TechNode::T090,
+        l1_sizes: vec![1 << 10],
+        ..base.clone()
+    })[0][0]
+        .hmean_ipc();
+    // Walk the pipelined sizes one spec at a time so the search stops at
+    // the first match instead of simulating the whole axis.
     let mut equiv = None;
-    for &size in &prestage_bench::L1_SIZES {
-        let pipe = hmean(ConfigPreset::BasePipelined, tech, size, &w);
+    for &size in &L1_SIZES {
+        let pipe = run(&ExperimentSpec {
+            presets: vec![ConfigPreset::BasePipelined],
+            tech: TechNode::T090,
+            l1_sizes: vec![size],
+            ..base.clone()
+        })[0][0]
+            .hmean_ipc();
+        equiv = Some((size, pipe));
         if pipe >= clgp_1k {
-            equiv = Some((size, pipe));
             break;
         }
-        equiv = Some((size, pipe));
     }
     let (esize, epipe) = equiv.unwrap();
     note_result(
@@ -76,15 +96,22 @@ fn main() {
             "CLGP+L0+PB16 with 1KB L1 (2.5KB total budget) reaches {clgp_1k:.3}; \
              the smallest pipelined I-cache matching it is {} ({} IPC {epipe:.3}) \
              => {}x the 2.5KB budget",
-            prestage_bench::size_label(esize),
-            prestage_bench::size_label(esize),
+            size_label(esize),
+            size_label(esize),
             esize as f64 / 2560.0
         ),
     );
 
     // Fetch-source headline at 4KB / 0.045um.
-    for (label, preset) in [("CLGP", ConfigPreset::Clgp), ("CLGP+L0", ConfigPreset::ClgpL0)] {
-        let r = run_config_over(config(preset, TechNode::T045, 4 << 10), &w, exec_seed());
+    let spec = ExperimentSpec {
+        presets: vec![ConfigPreset::Clgp, ConfigPreset::ClgpL0],
+        tech: TechNode::T045,
+        l1_sizes: vec![4 << 10],
+        ..base
+    };
+    let rows = run(&spec);
+    for (preset, row) in spec.presets.iter().zip(&rows) {
+        let r = &row[0];
         let (mut pb, mut one) = (0.0, 0.0);
         for (_, s) in &r.per_bench {
             pb += s.front.fetch_share(s.front.fetch_pb);
@@ -94,7 +121,8 @@ fn main() {
         note_result(
             "headline sources",
             &format!(
-                "{label}: {:.1}% of fetches from the prestage buffer, {:.1}% from one-cycle sources",
+                "{}: {:.1}% of fetches from the prestage buffer, {:.1}% from one-cycle sources",
+                preset.label(),
                 100.0 * pb / n,
                 100.0 * one / n
             ),

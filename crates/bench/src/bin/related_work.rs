@@ -3,29 +3,39 @@
 //! ablation (stream predictor vs gshare) behind the paper's claim — via
 //! \[4\]/\[16\] — that "branch prediction based prefetching outperforms table
 //! based prefetching" and tracks predictor quality.
+//!
+//! The NLP prefetcher override has no preset identity, so this binary
+//! derives everything from an `ExperimentSpec` and mutates spec-built
+//! configs; the predictor ablation runs the same spec with the spec's
+//! `predictor` field swapped.
 
-use prestage_bench::{config, exec_seed, note_result, results_dir, workloads};
-use prestage_cacti::TechNode;
+use prestage_bench::{note_result, results_dir};
+use prestage_core::PrefetcherKind;
 use prestage_sim::{
-    harmonic_mean, pool_map, pool_threads, run_grid, ConfigPreset, Engine, PredictorKind,
+    harmonic_mean, run_grid, try_run_spec_over, ConfigPreset, ExperimentSpec, PredictorKind,
     SimConfig,
 };
-use prestage_core::PrefetcherKind;
 use std::io::Write;
 
 fn main() {
-    let w = workloads();
-    let tech = TechNode::T045;
     let l1 = 4 << 10;
+    let base = ExperimentSpec {
+        presets: vec![ConfigPreset::ClgpL0],
+        l1_sizes: vec![l1],
+        ..ExperimentSpec::from_env()
+    };
+    let w = base
+        .build_workloads()
+        .unwrap_or_else(|e| panic!("invalid experiment spec: {e}"));
 
     // --- Prefetch scheme ladder: none -> NLP -> FDP -> CLGP. -------------
-    let mut nlp_cfg = config(ConfigPreset::Fdp, tech, l1);
+    let mut nlp_cfg = base.sim_config(ConfigPreset::Fdp, l1);
     nlp_cfg.frontend.prefetcher = PrefetcherKind::NextLine;
     let schemes: Vec<(&str, SimConfig)> = vec![
-        ("no prefetch (base)", config(ConfigPreset::Base, tech, l1)),
+        ("no prefetch (base)", base.sim_config(ConfigPreset::Base, l1)),
         ("next-2-line", nlp_cfg),
-        ("FDP", config(ConfigPreset::Fdp, tech, l1)),
-        ("CLGP", config(ConfigPreset::Clgp, tech, l1)),
+        ("FDP", base.sim_config(ConfigPreset::Fdp, l1)),
+        ("CLGP", base.sim_config(ConfigPreset::Clgp, l1)),
     ];
     println!("\n# Related work — prefetch scheme ladder (4KB L1, 0.045um)");
     std::fs::create_dir_all(results_dir()).unwrap();
@@ -33,7 +43,7 @@ fn main() {
     writeln!(csv, "scheme,hmean_ipc").unwrap();
     // The whole ladder in one run_grid call on the shared cell pool.
     let configs: Vec<SimConfig> = schemes.iter().map(|(_, c)| *c).collect();
-    let grids = run_grid(&configs, &w, exec_seed());
+    let grids = run_grid(&configs, &w, base.exec_seed);
     let mut ladder = Vec::new();
     for ((name, _), r) in schemes.iter().zip(&grids) {
         let h = r.hmean_ipc();
@@ -52,14 +62,13 @@ fn main() {
         ("stream predictor (paper)", PredictorKind::Stream),
         ("gshare 16K", PredictorKind::Gshare),
     ] {
-        let cfg = config(ConfigPreset::ClgpL0, tech, l1);
-        // The predictor override has no preset identity, so it rides the
-        // executor directly rather than run_grid.
-        let ipcs: Vec<f64> = pool_map(w.len(), pool_threads(), |i| {
-            Engine::with_predictor(cfg, &w[i], exec_seed(), kind)
-                .run()
-                .ipc()
-        });
+        // The predictor is a first-class spec field: same experiment,
+        // different `predictor`.
+        let spec = ExperimentSpec { predictor: kind, ..base.clone() };
+        let rows = try_run_spec_over(&spec, &w)
+            .unwrap_or_else(|e| panic!("invalid experiment spec: {e}"));
+        let row = &rows[0][0];
+        let ipcs: Vec<f64> = row.per_bench.iter().map(|(_, s)| s.ipc()).collect();
         let h = harmonic_mean(&ipcs);
         println!("{name:<28} HMEAN {h:.3}");
         writeln!(csv, "{name},{h:.4}").unwrap();

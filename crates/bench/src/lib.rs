@@ -1,54 +1,38 @@
 //! # prestage-bench
 //!
-//! The experiment harness: shared sweep plumbing used by the per-figure
-//! binaries in `src/bin/` (one per table/figure of the paper — see
-//! DESIGN.md §5 for the index) and by the Criterion benches in `benches/`.
+//! The experiment harness: figure/table binaries in `src/bin/` (one per
+//! table/figure of the paper — see DESIGN.md §5 for the index), the
+//! Criterion benches in `benches/`, and the shared presentation layer.
 //!
-//! Sweeps run on `prestage_sim`'s flat cell pool: [`ipc_sweep`] flattens
-//! the whole (preset × L1-size × benchmark) grid into `SweepCell`s and
-//! evaluates them on one work-stealing pool, so every figure binary keeps
-//! all cores busy across cell boundaries.
+//! Since the `ExperimentSpec` redesign the harness has three layers:
 //!
-//! Run lengths and seeds are controlled by environment variables so the
-//! full reproduction and quick smoke runs share one code path:
+//! * **What to run** is an [`prestage_sim::ExperimentSpec`] — the only
+//!   way experiments are configured.  The `PRESTAGE_*` environment knobs
+//!   survive as a single override layer
+//!   ([`ExperimentSpec::env_overrides`](prestage_sim::ExperimentSpec::env_overrides));
+//!   no binary reads them directly.
+//! * **Which figure is which** lives in [`figures`]: each figure is a
+//!   declared spec plus a [`report::ReportKind`], and
+//!   [`figures::run_figure`] is the entire body of every `fig*` binary.
+//!   The same named specs drive `prestage run <name>`.
+//! * **How results land on disk** is [`report`] (tables + CSVs) and
+//!   [`perf`] (the CI perf artifact), all under [`results_dir`].
 //!
-//! * `PRESTAGE_WARMUP`    — warm-up instructions per run (default 200 000)
-//! * `PRESTAGE_MEASURE`   — measured instructions per run (default 1 000 000)
-//! * `PRESTAGE_SEED`      — workload *generation* seed (default 42)
-//! * `PRESTAGE_EXEC_SEED` — engine *execution* seed (default 42); split
-//!   from `PRESTAGE_SEED` so workload shape and execution jitter can be
-//!   varied independently
-//! * `PRESTAGE_BENCH`     — comma-separated benchmark filter (default: all 12)
-//! * `PRESTAGE_THREADS`   — worker threads for the sweep pool (default:
-//!   available parallelism)
-//! * `PRESTAGE_RESULTS_DIR` — where CSV/notes artifacts land (default:
-//!   `<workspace root>/results`, independent of the invocation cwd)
-//!
-//! Malformed numeric values fail loudly (`PRESTAGE_MEASURE=1e6` aborts with
-//! the variable name and offending value instead of silently running the
-//! default length).
+//! Two environment variables remain artifact plumbing rather than
+//! experiment configuration, and are documented as such in the README:
+//! `PRESTAGE_RESULTS_DIR` (where CSVs/notes/perf JSON land) and
+//! `PRESTAGE_PREV_JSON` (an explicit previous CI artifact for `ci_grid`).
 
+pub mod figures;
 pub mod perf;
+pub mod report;
 
-use prestage_cacti::TechNode;
-use prestage_sim::{run_cells, CellGrid, ConfigPreset, GridResult, SimConfig};
-use prestage_workload::{build, specint2000, Workload};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-/// The paper's L1 I-cache sweep: 256 B … 64 KB.
-pub const L1_SIZES: [usize; 9] = [
-    256,
-    512,
-    1 << 10,
-    2 << 10,
-    4 << 10,
-    8 << 10,
-    16 << 10,
-    32 << 10,
-    64 << 10,
-];
+/// The paper's L1 I-cache sweep axis, re-exported from the spec module.
+pub use prestage_sim::L1_SIZES;
 
 /// Human label for a size ("256B", "4K", "1.5K", ...).
 ///
@@ -62,46 +46,6 @@ pub fn size_label(bytes: usize) -> String {
     } else {
         format!("{}K", bytes as f64 / 1024.0)
     }
-}
-
-/// Parse an env-var value, failing loudly on malformed input: a typo'd
-/// `PRESTAGE_MEASURE=1e6` must abort, not silently run the default length.
-/// Empty/whitespace values count as unset.
-fn parse_env_u64(name: &str, value: Option<&str>, default: u64) -> u64 {
-    match value.map(str::trim) {
-        None | Some("") => default,
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            panic!(
-                "{name} must be an unsigned integer, got {v:?} \
-                 (write e.g. {name}=1000000; scientific notation is not supported)"
-            )
-        }),
-    }
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    let value = std::env::var_os(name).map(|v| v.to_string_lossy().into_owned());
-    parse_env_u64(name, value.as_deref(), default)
-}
-
-/// (warm-up, measured) instruction counts from the environment.
-pub fn run_lengths() -> (u64, u64) {
-    (
-        env_u64("PRESTAGE_WARMUP", 200_000),
-        env_u64("PRESTAGE_MEASURE", 1_000_000),
-    )
-}
-
-/// Workload generation seed (`PRESTAGE_SEED`).
-pub fn seed() -> u64 {
-    env_u64("PRESTAGE_SEED", 42)
-}
-
-/// Engine execution seed (`PRESTAGE_EXEC_SEED`) — deliberately independent
-/// of [`seed`]: regenerating workloads and re-jittering execution are
-/// different experiments.
-pub fn exec_seed() -> u64 {
-    env_u64("PRESTAGE_EXEC_SEED", 42)
 }
 
 /// Directory where sweep artifacts (CSVs, notes, perf JSON) land:
@@ -138,156 +82,6 @@ pub fn results_dir() -> &'static Path {
         });
         near_exe.unwrap_or(baked).join("results")
     })
-}
-
-/// Build the SPECint2000 workload set (honouring `PRESTAGE_BENCH`).
-pub fn workloads() -> Vec<Workload> {
-    let filter: Option<Vec<String>> = std::env::var("PRESTAGE_BENCH")
-        .ok()
-        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
-    let seed = seed();
-    specint2000()
-        .into_iter()
-        .filter(|p| {
-            filter
-                .as_ref()
-                .is_none_or(|f| f.iter().any(|n| n == p.name))
-        })
-        .map(|p| build(&p, seed))
-        .collect()
-}
-
-/// Build a preset configuration with environment-driven run lengths.
-pub fn config(preset: ConfigPreset, tech: TechNode, l1: usize) -> SimConfig {
-    let (w, m) = run_lengths();
-    SimConfig::preset(preset, tech, l1).with_insts(w, m)
-}
-
-/// One row of an IPC sweep: a preset across all L1 sizes.
-pub struct SweepRow {
-    pub preset: ConfigPreset,
-    pub results: Vec<(usize, GridResult)>,
-}
-
-/// Sweep `presets` × `sizes` at `tech` over `workloads`.
-///
-/// The whole grid is flattened into one cell list and evaluated on a
-/// single work-stealing pool — cores never idle between (preset, size)
-/// cells — then merged back into ordered rows.  Bit-exact for any thread
-/// count or cell order.
-pub fn ipc_sweep(
-    presets: &[ConfigPreset],
-    sizes: &[usize],
-    tech: TechNode,
-    workloads: &[Workload],
-) -> Vec<SweepRow> {
-    let grid = CellGrid::new(
-        presets.to_vec(),
-        tech,
-        sizes.to_vec(),
-        workloads.len(),
-        exec_seed(),
-    );
-    let t0 = std::time::Instant::now();
-    let results = run_cells(&grid.cells(), workloads, |c| config(c.preset, c.tech, c.l1));
-    eprintln!(
-        "  swept {} cells ({} presets x {} sizes x {} benchmarks) in {:.2}s",
-        grid.n_cells(),
-        presets.len(),
-        sizes.len(),
-        workloads.len(),
-        t0.elapsed().as_secs_f64()
-    );
-    let merged = grid.merge(results, workloads);
-    presets
-        .iter()
-        .zip(merged)
-        .map(|(&preset, row)| SweepRow {
-            preset,
-            results: sizes.iter().copied().zip(row).collect(),
-        })
-        .collect()
-}
-
-/// Print an IPC sweep as an aligned text table (the figure's data series).
-/// A cell whose HMEAN collapsed to zero gets its culprit benchmarks named
-/// on stderr instead of hiding inside the table.
-pub fn print_sweep(title: &str, rows: &[SweepRow], sizes: &[usize]) {
-    println!("\n# {title}");
-    print!("{:<16}", "config");
-    for &s in sizes {
-        print!(" {:>8}", size_label(s));
-    }
-    println!();
-    for row in rows {
-        print!("{:<16}", row.preset.label());
-        for (size, r) in &row.results {
-            print!(" {:>8.3}", r.hmean_ipc());
-            let zeroed = r.zero_ipc_benches();
-            if !zeroed.is_empty() {
-                eprintln!(
-                    "  WARNING: {} @ {}: zero IPC from {} — HMEAN reported as 0",
-                    row.preset.label(),
-                    size_label(*size),
-                    zeroed.join(", ")
-                );
-            }
-        }
-        println!();
-    }
-}
-
-/// Write an IPC sweep to `<results dir>/<name>.csv` (plus a per-benchmark
-/// `<name>_detail.csv`), returning the path of the summary CSV.
-pub fn write_sweep_csv(name: &str, rows: &[SweepRow], sizes: &[usize]) -> std::io::Result<PathBuf> {
-    let labels: Vec<String> = sizes.iter().map(|&s| size_label(s)).collect();
-    {
-        let unique: std::collections::HashSet<&str> =
-            labels.iter().map(String::as_str).collect();
-        assert_eq!(
-            unique.len(),
-            labels.len(),
-            "size labels collide in CSV header: {labels:?}"
-        );
-    }
-    let dir = results_dir();
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path)?;
-    write!(f, "config")?;
-    for label in &labels {
-        write!(f, ",{label}")?;
-    }
-    writeln!(f)?;
-    for row in rows {
-        write!(f, "{}", row.preset.label())?;
-        for (_, r) in &row.results {
-            write!(f, ",{:.4}", r.hmean_ipc())?;
-        }
-        writeln!(f)?;
-    }
-    // Per-benchmark detail sheet.
-    let mut f = std::fs::File::create(dir.join(format!("{name}_detail.csv")))?;
-    writeln!(f, "config,l1,bench,ipc,mpki,pb_share,l0_share,l1_share")?;
-    for row in rows {
-        for (size, r) in &row.results {
-            for (name_b, s) in &r.per_bench {
-                writeln!(
-                    f,
-                    "{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4}",
-                    row.preset.label(),
-                    size_label(*size),
-                    name_b,
-                    s.ipc(),
-                    s.mpki(),
-                    s.front.fetch_share(s.front.fetch_pb),
-                    s.front.fetch_share(s.front.fetch_l0),
-                    s.front.fetch_share(s.front.fetch_l1),
-                )?;
-            }
-        }
-    }
-    Ok(path)
 }
 
 /// Append a record of measured headline values (consumed by EXPERIMENTS.md
@@ -337,34 +131,6 @@ mod tests {
         for w in L1_SIZES.windows(2) {
             assert_eq!(w[1], w[0] * 2);
         }
-    }
-
-    #[test]
-    fn default_run_lengths() {
-        // Env-free defaults (tests may run with env set; only check order).
-        let (w, m) = run_lengths();
-        assert!(w >= 1 && m >= w);
-    }
-
-    #[test]
-    fn env_parsing_accepts_good_values_and_defaults() {
-        assert_eq!(parse_env_u64("X", None, 7), 7);
-        assert_eq!(parse_env_u64("X", Some(""), 7), 7);
-        assert_eq!(parse_env_u64("X", Some("  "), 7), 7);
-        assert_eq!(parse_env_u64("X", Some("123"), 7), 123);
-        assert_eq!(parse_env_u64("X", Some(" 42 "), 7), 42);
-    }
-
-    #[test]
-    #[should_panic(expected = "PRESTAGE_MEASURE must be an unsigned integer")]
-    fn env_parsing_rejects_scientific_notation() {
-        parse_env_u64("PRESTAGE_MEASURE", Some("1e6"), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "must be an unsigned integer")]
-    fn env_parsing_rejects_negatives() {
-        parse_env_u64("PRESTAGE_WARMUP", Some("-5"), 0);
     }
 
     #[test]

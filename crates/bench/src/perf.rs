@@ -1,17 +1,27 @@
-//! Per-run performance artifacts for CI: a tiny JSON report of the
-//! mini-grid's per-cell medians, plus a differ that flags >10% movement
-//! against the previous run.
+//! Per-run performance artifacts for CI: one JSON report
+//! (`results/ci_grid.json`) tracking both the mini-grid's per-row numbers
+//! *and* the Criterion-shim micro-bench medians, plus a differ that flags
+//! large movement against the previous run.
 //!
-//! The vendored `serde` shim has no JSON backend (vendor/README.md), so the
-//! report is written and read by hand.  The writer emits one cell per line
-//! and the reader is a line-oriented scanner of exactly that shape — it is
-//! a round-trip format for our own artifact, not a general JSON parser.
+//! Serialization rides the shared [`prestage_json`] module (the original
+//! hand-rolled line scanner this module started as was promoted there).
+//! Anything that does not parse as a complete schema-2 report — a future
+//! schema, a truncated cache restore — reads as "no baseline" rather than
+//! silently comparing less.
+//!
+//! Micro-bench medians arrive via the Criterion shim's
+//! `CRITERION_MEDIANS_FILE` hook (vendor/criterion): each
+//! `bench_function` appends a `name<TAB>median_ns` line, and
+//! [`parse_medians_tsv`] folds the file into the report so one artifact
+//! tracks grid IPC and hot-path latencies together (the ROADMAP's CI
+//! perf-tracking item).
+
+use prestage_json::Json;
 
 /// One (preset, L1 size) row of the CI mini-grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellPerf {
-    /// Preset label (e.g. `"CLGP+L0"`). Labels contain no quotes or
-    /// backslashes, so they embed in JSON unescaped.
+    /// Preset label (e.g. `"CLGP+L0"`).
     pub preset: String,
     pub l1: usize,
     /// Deterministic given seeds and run lengths — any movement at all
@@ -22,13 +32,29 @@ pub struct CellPerf {
     pub median_cell_wall_s: f64,
 }
 
-/// A whole CI perf report.
+/// Median per-iteration latency of one Criterion-shim micro-bench
+/// (e.g. `"engine/crafty_20k"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMedian {
+    pub name: String,
+    pub median_ns: f64,
+}
+
+/// A whole CI perf report.  The artifact's schema number is not a field:
+/// [`PerfReport::to_json`] always writes [`PERF_SCHEMA`] and `from_json`
+/// only accepts it, so a report that would be rejected by its own reader
+/// cannot be constructed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
-    pub schema: u32,
     pub total_wall_s: f64,
     pub cells: Vec<CellPerf>,
+    /// Micro-bench medians; empty when no medians file was present.
+    pub benches: Vec<BenchMedian>,
 }
+
+/// Current artifact schema.  2 added the `benches` section (schema-1
+/// baselines read as "no baseline" for one run after the upgrade).
+pub const PERF_SCHEMA: u32 = 2;
 
 /// Relative change `new/old - 1`, with a zero/zero as no change and a
 /// from-zero jump as +inf.
@@ -46,87 +72,130 @@ fn rel_delta(old: f64, new: f64) -> f64 {
 
 impl PerfReport {
     pub fn to_json(&self) -> String {
-        let mut s = String::new();
-        s.push_str("{\n");
-        s.push_str(&format!("  \"schema\": {},\n", self.schema));
-        s.push_str(&format!("  \"total_wall_s\": {:.6},\n", self.total_wall_s));
-        // Row count up front: a baseline truncated mid-write must read as
-        // "no baseline", not as a smaller valid report.
-        s.push_str(&format!("  \"n_cells\": {},\n", self.cells.len()));
-        s.push_str("  \"cells\": [\n");
-        for (i, c) in self.cells.iter().enumerate() {
-            let comma = if i + 1 == self.cells.len() { "" } else { "," };
-            s.push_str(&format!(
-                "    {{\"preset\": \"{}\", \"l1\": {}, \"hmean_ipc\": {:.6}, \
-                 \"median_cell_wall_s\": {:.6}}}{comma}\n",
-                c.preset, c.l1, c.hmean_ipc, c.median_cell_wall_s
-            ));
-        }
-        s.push_str("  ]\n}\n");
-        s
+        Json::obj([
+            ("schema", u64::from(PERF_SCHEMA).into()),
+            ("total_wall_s", self.total_wall_s.into()),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("preset", c.preset.as_str().into()),
+                                ("l1", c.l1.into()),
+                                ("hmean_ipc", c.hmean_ipc.into()),
+                                ("median_cell_wall_s", c.median_cell_wall_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "benches",
+                Json::Arr(
+                    self.benches
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("name", b.name.as_str().into()),
+                                ("median_ns", b.median_ns.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
     }
 
     /// Parse a report previously written by [`PerfReport::to_json`].
-    /// Returns `None` on anything that does not look like a complete one —
-    /// a future schema bump, or a truncated file whose `n_cells` header
-    /// disagrees with the rows present — so CI treats a stale or damaged
-    /// artifact as "no baseline" rather than silently comparing less.
+    /// Returns `None` on anything that does not look like a complete
+    /// current-schema report, so CI treats a stale or damaged artifact as
+    /// "no baseline" rather than silently comparing less.
     pub fn from_json(text: &str) -> Option<PerfReport> {
-        let schema = scan_num(text, "\"schema\"")? as u32;
-        if schema != 1 {
+        let v = Json::parse(text).ok()?;
+        if v.get("schema")?.as_u64()? as u32 != PERF_SCHEMA {
             return None;
         }
-        let total_wall_s = scan_num(text, "\"total_wall_s\"")?;
-        let n_cells = scan_num(text, "\"n_cells\"")? as usize;
-        let mut cells = Vec::new();
-        for line in text.lines() {
-            if !line.contains("\"preset\"") {
-                continue;
-            }
-            cells.push(CellPerf {
-                preset: scan_str(line, "\"preset\"")?,
-                l1: scan_num(line, "\"l1\"")? as usize,
-                hmean_ipc: scan_num(line, "\"hmean_ipc\"")?,
-                median_cell_wall_s: scan_num(line, "\"median_cell_wall_s\"")?,
-            });
-        }
-        if cells.len() != n_cells || cells.is_empty() {
+        let cells = v
+            .get("cells")?
+            .as_arr()?
+            .iter()
+            .map(|c| {
+                Some(CellPerf {
+                    preset: c.get("preset")?.as_str()?.to_string(),
+                    l1: c.get("l1")?.as_usize()?,
+                    hmean_ipc: c.get("hmean_ipc")?.as_f64()?,
+                    median_cell_wall_s: c.get("median_cell_wall_s")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        if cells.is_empty() {
             return None;
         }
+        let benches = v
+            .get("benches")?
+            .as_arr()?
+            .iter()
+            .map(|b| {
+                Some(BenchMedian {
+                    name: b.get("name")?.as_str()?.to_string(),
+                    median_ns: b.get("median_ns")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
         Some(PerfReport {
-            schema,
-            total_wall_s,
+            total_wall_s: v.get("total_wall_s")?.as_f64()?,
             cells,
+            benches,
         })
     }
 }
 
-/// Value of `"key": <number>` after `key`, if present.
-fn scan_num(text: &str, key: &str) -> Option<f64> {
-    let at = text.find(key)? + key.len();
-    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// Parse the Criterion shim's medians file: one `name<TAB>median_ns` line
+/// per benchmark, later lines winning on re-run (append semantics).
+/// Malformed lines are a loud error — the file is machine-written, so
+/// damage means the pipeline is broken.
+pub fn parse_medians_tsv(text: &str) -> Result<Vec<BenchMedian>, String> {
+    let mut out: Vec<BenchMedian> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (name, ns) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("medians line {} has no tab: {line:?}", i + 1))?;
+        let median_ns: f64 = ns
+            .trim()
+            .parse()
+            .map_err(|_| format!("medians line {} has a bad number: {line:?}", i + 1))?;
+        match out.iter_mut().find(|b| b.name == name) {
+            Some(b) => b.median_ns = median_ns,
+            None => out.push(BenchMedian {
+                name: name.to_string(),
+                median_ns,
+            }),
+        }
+    }
+    Ok(out)
 }
 
-/// Value of `"key": "<string>"` after `key`, if present.
-fn scan_str(text: &str, key: &str) -> Option<String> {
-    let at = text.find(key)? + key.len();
-    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
+/// IPC or wall-clock movement beyond this fraction warns (the simulator is
+/// deterministic, so *any* IPC movement means behaviour changed).
+const GRID_WARN: f64 = 0.10;
+/// Micro-bench medians are noisier than grid rows; only a slowdown beyond
+/// this fraction warns.
+const BENCH_WARN: f64 = 0.25;
 
-/// Compare `new` against `old`, matching rows by (preset, l1).
+/// Compare `new` against `old`, matching grid rows by (preset, l1) and
+/// micro-benches by name.
 ///
 /// Returns `(deltas, warnings)`: every row's movement as a human-readable
-/// line, and the subset that moved by more than 10% — IPC in *either*
-/// direction (the simulator is deterministic, so any IPC movement means
-/// behaviour changed) and median cell wall-clock up (slower).  A row
-/// present in the baseline but missing from `new` also warns: its
-/// regression coverage silently vanished.
+/// line, and the subset that moved too much — grid IPC in *either*
+/// direction and cell wall-clock up beyond 10%, micro-bench medians up
+/// beyond 25%.  A row present in the baseline but missing from `new` also
+/// warns: its regression coverage silently vanished.
 pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
     let mut deltas = Vec::new();
     let mut warnings = Vec::new();
@@ -164,7 +233,7 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
             c.median_cell_wall_s,
             100.0 * d_wall,
         ));
-        if d_ipc.abs() > 0.10 {
+        if d_ipc.abs() > GRID_WARN {
             warnings.push(format!(
                 "{} @ {}B: hmean IPC moved {:+.1}% ({:.4} -> {:.4})",
                 c.preset,
@@ -174,7 +243,7 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
                 c.hmean_ipc
             ));
         }
-        if d_wall > 0.10 {
+        if d_wall > GRID_WARN {
             warnings.push(format!(
                 "{} @ {}B: median cell wall-clock up {:.1}% ({:.4}s -> {:.4}s)",
                 c.preset,
@@ -182,6 +251,34 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
                 100.0 * d_wall,
                 prev.median_cell_wall_s,
                 c.median_cell_wall_s
+            ));
+        }
+    }
+    for prev in &old.benches {
+        if !new.benches.iter().any(|b| b.name == prev.name) {
+            warnings.push(format!(
+                "bench {}: present in baseline but missing from this run",
+                prev.name
+            ));
+        }
+    }
+    for b in &new.benches {
+        let Some(prev) = old.benches.iter().find(|p| p.name == b.name) else {
+            deltas.push(format!("bench {}: new benchmark (no baseline)", b.name));
+            continue;
+        };
+        let d = rel_delta(prev.median_ns, b.median_ns);
+        deltas.push(format!(
+            "bench {}: median {:.1}ns -> {:.1}ns ({:+.1}%)",
+            b.name, prev.median_ns, b.median_ns, 100.0 * d
+        ));
+        if d > BENCH_WARN {
+            warnings.push(format!(
+                "bench {}: median latency up {:.1}% ({:.1}ns -> {:.1}ns)",
+                b.name,
+                100.0 * d,
+                prev.median_ns,
+                b.median_ns
             ));
         }
     }
@@ -194,7 +291,6 @@ mod tests {
 
     fn report(ipc: f64, wall: f64) -> PerfReport {
         PerfReport {
-            schema: 1,
             total_wall_s: 2.5,
             cells: vec![
                 CellPerf {
@@ -210,6 +306,10 @@ mod tests {
                     median_cell_wall_s: 0.02,
                 },
             ],
+            benches: vec![BenchMedian {
+                name: "engine/crafty_20k".into(),
+                median_ns: 6_420_000.0,
+            }],
         }
     }
 
@@ -217,36 +317,26 @@ mod tests {
     fn json_roundtrips() {
         let r = report(1.25, 0.0125);
         let back = PerfReport::from_json(&r.to_json()).expect("parses");
-        assert_eq!(back.schema, 1);
-        assert_eq!(back.cells.len(), 2);
-        assert!((back.total_wall_s - 2.5).abs() < 1e-9);
-        assert_eq!(back.cells[0].preset, "base+L0");
-        assert_eq!(back.cells[0].l1, 1024);
-        assert!((back.cells[0].hmean_ipc - 1.25).abs() < 1e-6);
-        assert!((back.cells[1].median_cell_wall_s - 0.02).abs() < 1e-6);
+        assert_eq!(back, r);
     }
 
     #[test]
-    fn garbage_and_future_schemas_are_no_baseline() {
+    fn garbage_and_other_schemas_are_no_baseline() {
         assert!(PerfReport::from_json("").is_none());
         assert!(PerfReport::from_json("not json at all").is_none());
-        let future = report(1.0, 1.0).to_json().replace(
-            "\"schema\": 1",
-            "\"schema\": 2",
-        );
-        assert!(PerfReport::from_json(&future).is_none());
+        let other = report(1.0, 1.0)
+            .to_json()
+            .replace("\"schema\": 2", "\"schema\": 1");
+        assert!(PerfReport::from_json(&other).is_none());
     }
 
     #[test]
     fn truncated_artifact_is_no_baseline() {
-        // An interrupted cache save that drops cell lines must not read as
-        // a smaller valid report.
+        // An interrupted cache save must not read as a smaller valid
+        // report: truncated JSON simply fails to parse.
         let full = report(1.0, 1.0).to_json();
         let cut = full.find("\"CLGP+L0\"").unwrap();
         assert!(PerfReport::from_json(&full[..cut]).is_none());
-        // Header without any rows is likewise no baseline.
-        let header_only = &full[..full.find("{\"preset\"").unwrap()];
-        assert!(PerfReport::from_json(header_only).is_none());
     }
 
     #[test]
@@ -254,7 +344,7 @@ mod tests {
         let old = report(1.00, 0.0100);
         // 5% slower wall, 5% lower IPC: reported, not warned.
         let (deltas, warnings) = diff(&old, &report(0.95, 0.0105));
-        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas.len(), 3);
         assert!(warnings.is_empty(), "{warnings:?}");
         // 15% lower IPC and 20% slower: both warned.
         let (_, warnings) = diff(&old, &report(0.85, 0.0120));
@@ -269,14 +359,42 @@ mod tests {
     }
 
     #[test]
+    fn diff_tracks_bench_medians_with_a_wider_band() {
+        let old = report(1.0, 0.01);
+        // 20% slower micro-bench: inside the noise band, no warning.
+        let mut new = report(1.0, 0.01);
+        new.benches[0].median_ns *= 1.20;
+        let (deltas, warnings) = diff(&old, &new);
+        assert!(deltas.iter().any(|d| d.contains("engine/crafty_20k")));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // 30% slower: warned.
+        let mut new = report(1.0, 0.01);
+        new.benches[0].median_ns *= 1.30;
+        let (_, warnings) = diff(&old, &new);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("median latency up"));
+        // 30% *faster* micro-bench never warns.
+        let mut new = report(1.0, 0.01);
+        new.benches[0].median_ns *= 0.70;
+        let (_, warnings) = diff(&old, &new);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // A median that vanished from the run warns (coverage lost).
+        let mut new = report(1.0, 0.01);
+        new.benches.clear();
+        let (_, warnings) = diff(&old, &new);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("missing from this run"));
+    }
+
+    #[test]
     fn diff_handles_unmatched_cells() {
         let old = PerfReport {
-            schema: 1,
             total_wall_s: 0.0,
             cells: vec![],
+            benches: vec![],
         };
         let (deltas, warnings) = diff(&old, &report(1.0, 0.01));
-        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas.len(), 3);
         assert!(deltas[0].contains("no baseline"));
         assert!(warnings.is_empty());
         // A baseline row that vanished from the new run is a warning: its
@@ -286,5 +404,17 @@ mod tests {
         let (_, warnings) = diff(&report(1.0, 0.01), &shrunk);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("missing from this run"));
+    }
+
+    #[test]
+    fn medians_tsv_parses_and_dedupes() {
+        let text = "engine/crafty_20k\t6420000\nbpred/predict_train\t271.5\n\nengine/crafty_20k\t6500000\n";
+        let medians = parse_medians_tsv(text).unwrap();
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians[0].name, "engine/crafty_20k");
+        // Later lines win: a re-run's append supersedes the first.
+        assert!((medians[0].median_ns - 6_500_000.0).abs() < 1e-9);
+        assert!(parse_medians_tsv("no tab here").is_err());
+        assert!(parse_medians_tsv("name\tnot_a_number").is_err());
     }
 }

@@ -121,6 +121,28 @@ impl TechNode {
         ]
     }
 
+    /// Nanometre shorthand, e.g. `"45"` — the form the CLI's `--tech`
+    /// flag and `ExperimentSpec` JSON files use.
+    pub fn id(self) -> &'static str {
+        match self {
+            TechNode::T180 => "180",
+            TechNode::T130 => "130",
+            TechNode::T090 => "90",
+            TechNode::T065 => "65",
+            TechNode::T045 => "45",
+        }
+    }
+
+    /// Parse a node from its [`id`](Self::id) (`"45"`, `"45nm"`) or its
+    /// [`label`](Self::label) (`"0.045um"`).
+    pub fn from_id(s: &str) -> Option<TechNode> {
+        let s = s.trim().to_lowercase();
+        let s = s.strip_suffix("nm").unwrap_or(&s);
+        TechNode::all()
+            .into_iter()
+            .find(|n| s == n.id() || s == n.label())
+    }
+
     /// Short human-readable label, e.g. `"0.09um"`.
     pub fn label(self) -> &'static str {
         match self {

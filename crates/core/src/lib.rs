@@ -34,4 +34,4 @@ pub use buffer::{PbKind, PbLookup, PreBuffer};
 pub use config::{FrontendConfig, PrefetcherKind};
 pub use frontend::{Delivery, FetchSource, FrontEnd};
 pub use queue::{FetchQueue, LineSlot, QueueKind};
-pub use stats::FrontStats;
+pub use stats::{FrontStats, SourceCount};

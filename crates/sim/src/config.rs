@@ -48,6 +48,35 @@ impl ConfigPreset {
         ]
     }
 
+    /// Stable machine-readable identifier: the form `ExperimentSpec` JSON
+    /// files and the `prestage` CLI use.  Lowercase, no spaces.
+    pub fn id(self) -> &'static str {
+        match self {
+            ConfigPreset::Base => "base",
+            ConfigPreset::BaseL0 => "base+l0",
+            ConfigPreset::BasePipelined => "pipelined",
+            ConfigPreset::Ideal => "ideal",
+            ConfigPreset::Fdp => "fdp",
+            ConfigPreset::FdpL0 => "fdp+l0",
+            ConfigPreset::FdpL0Pb16 => "fdp+l0+pb16",
+            ConfigPreset::Clgp => "clgp",
+            ConfigPreset::ClgpL0 => "clgp+l0",
+            ConfigPreset::ClgpL0Pb16 => "clgp+l0+pb16",
+        }
+    }
+
+    /// Parse an [`id`](Self::id) (case-insensitive; the figure-legend
+    /// [`label`](Self::label) forms are accepted too).
+    pub fn from_id(s: &str) -> Option<ConfigPreset> {
+        let s = s.trim().to_lowercase();
+        ConfigPreset::all().into_iter().find(|p| {
+            p.id() == s
+                || p.label().to_lowercase() == s
+                // Historical CLI alias.
+                || (s == "base-pipelined" && *p == ConfigPreset::BasePipelined)
+        })
+    }
+
     /// Label used in figure legends and CSV output.
     pub fn label(self) -> &'static str {
         match self {

@@ -65,6 +65,25 @@ pub enum PredictorKind {
     Gshare,
 }
 
+impl PredictorKind {
+    /// Stable identifier used by `ExperimentSpec` JSON and the CLI.
+    pub fn id(self) -> &'static str {
+        match self {
+            PredictorKind::Stream => "stream",
+            PredictorKind::Gshare => "gshare",
+        }
+    }
+
+    /// Parse an [`id`](Self::id) (case-insensitive).
+    pub fn from_id(s: &str) -> Option<PredictorKind> {
+        match s.trim().to_lowercase().as_str() {
+            "stream" => Some(PredictorKind::Stream),
+            "gshare" => Some(PredictorKind::Gshare),
+            _ => None,
+        }
+    }
+}
+
 /// Unified predictor wrapper so one engine serves both (the trait has an
 /// associated Checkpoint type, which a trait object cannot carry).
 #[derive(Debug)]

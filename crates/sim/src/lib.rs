@@ -19,18 +19,26 @@
 //!   distributions for Figures 7/8).
 //! * [`runner`] — the flat cell-addressed sweep executor: one
 //!   work-stealing pool over (preset × L1-size × benchmark) cells.
+//! * [`spec`] — [`ExperimentSpec`], the serializable value that fully
+//!   describes an experiment, with JSON round-trip, the `PRESTAGE_*`
+//!   env override layer, and the shard-file format of the `prestage` CLI.
 
 pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod runner;
+pub mod spec;
 pub mod stats;
 
 pub use backend::{BackEnd, BackendConfig, BackendStats};
 pub use config::{ConfigPreset, SimConfig};
 pub use engine::{Engine, PredictorKind};
 pub use runner::{
-    pool_map, pool_threads, run_cells, run_cells_with_threads, run_config_over, run_grid, run_one,
-    CellGrid, CellResult, GridResult, SweepCell,
+    default_threads, pool_map, pool_threads, run_cells, run_cells_full, run_cells_with_threads,
+    run_config_over, run_grid, run_one, CellGrid, CellResult, GridResult, SweepCell,
+};
+pub use spec::{
+    grid_output, run_spec, run_spec_cells, try_run_spec, try_run_spec_over, ExperimentSpec,
+    ShardFile, L1_SIZES,
 };
 pub use stats::{harmonic_mean, SimStats};

@@ -18,7 +18,7 @@
 //! [`CellGrid::cells`], and `merge` accepts any union of shard outputs.
 
 use crate::config::{ConfigPreset, SimConfig};
-use crate::engine::Engine;
+use crate::engine::{Engine, PredictorKind};
 use crate::stats::{harmonic_mean, SimStats};
 use prestage_cacti::TechNode;
 use prestage_workload::{build, BenchmarkProfile, Workload};
@@ -206,12 +206,21 @@ impl CellGrid {
     /// or any position is missing — a sharded run that lost a cell should
     /// fail loudly, not ship a partial figure.
     pub fn merge(&self, results: Vec<CellResult>, workloads: &[Workload]) -> Vec<Vec<GridResult>> {
+        let names: Vec<&str> = workloads.iter().map(|w| w.profile.name).collect();
+        self.merge_named(results, &names)
+    }
+
+    /// [`CellGrid::merge`] by benchmark *name* — what a cross-process
+    /// collector uses: merging serialized shard results needs the grid
+    /// shape and the benchmark labels, not the (expensive, already-paid)
+    /// workload builds behind them.
+    pub fn merge_named(&self, results: Vec<CellResult>, names: &[&str]) -> Vec<Vec<GridResult>> {
         assert_eq!(
-            workloads.len(),
+            names.len(),
             self.n_bench,
             "grid built for {} benchmarks, merge given {}",
             self.n_bench,
-            workloads.len()
+            names.len()
         );
         let mut slots: Vec<Option<SimStats>> = vec![None; self.n_cells()];
         for r in results {
@@ -228,7 +237,7 @@ impl CellGrid {
             s.unwrap_or_else(|| panic!("missing result for cell {:?}", self.cell_at(i)))
         });
         let mut rows =
-            reassemble_rows(flat, self.presets.len() * self.sizes.len(), workloads).into_iter();
+            reassemble_rows(flat, self.presets.len() * self.sizes.len(), names).into_iter();
         self.presets
             .iter()
             .map(|_| self.sizes.iter().map(|_| rows.next().expect("sized")).collect())
@@ -238,46 +247,38 @@ impl CellGrid {
 
 /// Chunk a flat, row-major stream of per-cell stats back into
 /// [`GridResult`] rows with per-benchmark entries in workload order — the
-/// one reassembly loop shared by [`CellGrid::merge`] and [`run_grid`].
+/// one reassembly loop shared by [`CellGrid::merge_named`] and
+/// [`run_grid`].
 fn reassemble_rows(
     flat: impl Iterator<Item = SimStats>,
     n_rows: usize,
-    workloads: &[Workload],
+    names: &[&str],
 ) -> Vec<GridResult> {
     let mut flat = flat.fuse();
     (0..n_rows)
         .map(|_| GridResult {
-            per_bench: workloads
+            per_bench: names
                 .iter()
-                .map(|w| (w.profile.name.to_string(), flat.next().expect("sized")))
+                .map(|n| (n.to_string(), flat.next().expect("sized")))
                 .collect(),
         })
         .collect()
 }
 
-/// Worker-thread count for the pool: `PRESTAGE_THREADS` if set (panics on
-/// malformed values rather than silently running serial; empty counts as
-/// unset, like the other `PRESTAGE_*` knobs), else the machine's available
-/// parallelism.
+/// The machine's available parallelism (4 when undetectable) — the pool
+/// width used when an [`ExperimentSpec`](crate::ExperimentSpec) leaves
+/// `threads` unset.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Worker-thread count for the pool: the `PRESTAGE_THREADS` override if
+/// set (parsed — loudly — by the [`crate::spec`] env layer), else
+/// [`default_threads`].
 pub fn pool_threads() -> usize {
-    let default = || {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    };
-    match std::env::var_os("PRESTAGE_THREADS") {
-        Some(v) => {
-            let s = v.to_string_lossy();
-            match s.trim() {
-                "" => default(),
-                t => match t.parse::<usize>() {
-                    Ok(n) if n >= 1 => n,
-                    _ => panic!("PRESTAGE_THREADS must be a positive integer, got {s:?}"),
-                },
-            }
-        }
-        None => default(),
-    }
+    crate::spec::threads_override().unwrap_or_else(default_threads)
 }
 
 /// The in-tree work-stealing executor: evaluate `f(0..n)` on `threads`
@@ -342,6 +343,23 @@ pub fn run_cells_with_threads<F>(
 where
     F: Fn(&SweepCell) -> SimConfig + Sync,
 {
+    run_cells_full(cells, workloads, configure, threads, PredictorKind::Stream)
+}
+
+/// The fully-parameterised cell executor: like [`run_cells_with_threads`]
+/// but with an explicit fetch-block predictor — the knob
+/// [`ExperimentSpec`](crate::ExperimentSpec) exposes for the
+/// predictor-quality comparisons of §2.1.
+pub fn run_cells_full<F>(
+    cells: &[SweepCell],
+    workloads: &[Workload],
+    configure: F,
+    threads: usize,
+    predictor: PredictorKind,
+) -> Vec<CellResult>
+where
+    F: Fn(&SweepCell) -> SimConfig + Sync,
+{
     for c in cells {
         assert!(
             c.bench_idx < workloads.len(),
@@ -352,7 +370,13 @@ where
     pool_map(cells.len(), threads, |i| {
         let cell = cells[i];
         let t0 = std::time::Instant::now();
-        let stats = Engine::new(configure(&cell), &workloads[cell.bench_idx], cell.exec_seed).run();
+        let stats = Engine::with_predictor(
+            configure(&cell),
+            &workloads[cell.bench_idx],
+            cell.exec_seed,
+            predictor,
+        )
+        .run();
         CellResult {
             cell,
             stats,
@@ -388,7 +412,8 @@ pub fn run_grid(configs: &[SimConfig], workloads: &[Workload], exec_seed: u64) -
         let (ci, wi) = (i / workloads.len(), i % workloads.len());
         Engine::new(configs[ci], &workloads[wi], exec_seed).run()
     });
-    reassemble_rows(flat.into_iter(), configs.len(), workloads)
+    let names: Vec<&str> = workloads.iter().map(|w| w.profile.name).collect();
+    reassemble_rows(flat.into_iter(), configs.len(), &names)
 }
 
 /// Run one config over pre-built workloads in parallel; order preserved.

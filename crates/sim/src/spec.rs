@@ -1,0 +1,1207 @@
+//! The experiment API: one serializable value that fully describes an
+//! experiment.
+//!
+//! The paper's evaluation is a fixed matrix of named configurations
+//! (§5.1's presets × tech nodes × L1 sizes × SPECint2000 benchmarks).
+//! [`ExperimentSpec`] is that matrix as a plain value: every knob a run
+//! needs — axes, run lengths, seeds, pool width, predictor — in one struct
+//! that round-trips through JSON and therefore crosses process (and host)
+//! boundaries unchanged.  Everything above it is derived:
+//!
+//! * [`CellGrid::from_spec`] turns a spec into the flat cell grid the
+//!   work-stealing pool executes;
+//! * [`run_spec`] runs the whole grid in-process and returns ordered
+//!   `[preset][size]` rows;
+//! * [`run_spec_cells`] runs an arbitrary cell slice — the unit the
+//!   `prestage shard` CLI distributes across processes — and
+//!   [`ShardFile`] is its serialized output, reassembled bit-exactly by
+//!   `prestage merge` via [`CellGrid::merge_named`];
+//! * [`grid_output`] renders merged rows deterministically, so a merged
+//!   multi-process run and a single-process run of the same spec produce
+//!   byte-identical artifacts.
+//!
+//! The `PRESTAGE_*` environment variables survive only as an *override
+//! layer*: [`ExperimentSpec::env_overrides`] folds them onto an existing
+//! spec, and this module is the single place in the workspace where they
+//! are parsed (malformed values abort with the variable name, per the
+//! loud-parsing policy).
+
+use crate::config::{ConfigPreset, SimConfig};
+use crate::engine::PredictorKind;
+use crate::runner::{
+    default_threads, run_cells_full, CellGrid, CellResult, GridResult, SweepCell,
+};
+use crate::stats::SimStats;
+use prestage_cacti::TechNode;
+use prestage_json::Json;
+use prestage_workload::{build, specint2000, BenchmarkProfile, Workload};
+use std::time::Duration;
+
+/// The paper's L1 I-cache sweep axis: 256 B … 64 KB.
+pub const L1_SIZES: [usize; 9] = [
+    256,
+    512,
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+];
+
+/// Schema version of every JSON artifact this module writes.
+pub const SPEC_SCHEMA: u64 = 1;
+
+/// A complete, serializable description of one experiment.
+///
+/// This is the *only* way experiments are configured: figure binaries
+/// declare one, the CLI loads one from JSON, and the environment can only
+/// override fields through [`ExperimentSpec::env_overrides`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Configuration presets (grid rows), figure-legend order.
+    pub presets: Vec<ConfigPreset>,
+    /// Technology node the whole grid runs at.
+    pub tech: TechNode,
+    /// L1 I-cache capacities in bytes (grid columns).
+    pub l1_sizes: Vec<usize>,
+    /// Benchmark filter: `None` = the full SPECint2000 set, `Some` = an
+    /// explicit ordered subset (unknown names are a loud error).
+    pub bench: Option<Vec<String>>,
+    /// Warm-up instructions per run.
+    pub warmup_insts: u64,
+    /// Measured instructions per run.
+    pub measure_insts: u64,
+    /// Workload *generation* seed.
+    pub workload_seed: u64,
+    /// Engine *execution* seed (wrong-path / arbitration jitter),
+    /// deliberately independent of [`workload_seed`](Self::workload_seed).
+    pub exec_seed: u64,
+    /// Worker threads for the sweep pool; `None` = available parallelism.
+    /// The one field that may legitimately differ between hosts — it never
+    /// affects results (cells are bit-exact for any pool width).
+    pub threads: Option<usize>,
+    /// Fetch-block predictor driving the decoupled front-end.
+    pub predictor: PredictorKind,
+}
+
+impl Default for ExperimentSpec {
+    /// The paper's full evaluation matrix at the far-future node: every
+    /// preset × every L1 size × all twelve benchmarks, §5.1 run lengths.
+    fn default() -> ExperimentSpec {
+        ExperimentSpec {
+            presets: ConfigPreset::all().to_vec(),
+            tech: TechNode::T045,
+            l1_sizes: L1_SIZES.to_vec(),
+            bench: None,
+            warmup_insts: 200_000,
+            measure_insts: 1_000_000,
+            workload_seed: 42,
+            exec_seed: 42,
+            threads: None,
+            predictor: PredictorKind::Stream,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The environment override layer — the single place `PRESTAGE_*` variables
+// are read.
+// ---------------------------------------------------------------------------
+
+/// Parse an env-var value, failing loudly on malformed input: a typo'd
+/// `PRESTAGE_MEASURE=1e6` must abort, not silently run the default length.
+/// Empty/whitespace values count as unset.
+fn parse_env_u64(name: &str, value: Option<&str>, default: u64) -> u64 {
+    match value.map(str::trim) {
+        None | Some("") => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            panic!(
+                "{name} must be an unsigned integer, got {v:?} \
+                 (write e.g. {name}=1000000; scientific notation is not supported)"
+            )
+        }),
+    }
+}
+
+fn std_env(name: &str) -> Option<String> {
+    std::env::var_os(name).map(|v| v.to_string_lossy().into_owned())
+}
+
+/// The `PRESTAGE_THREADS` override, if set (empty counts as unset).
+/// Panics on malformed values rather than silently running serial.  Also
+/// consulted by [`crate::runner::pool_threads`] for the non-spec entry
+/// points, so the variable has exactly one parser.
+pub(crate) fn threads_override() -> Option<usize> {
+    parse_threads(std_env("PRESTAGE_THREADS").as_deref())
+}
+
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    match value.map(str::trim) {
+        None | Some("") => None,
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => panic!("PRESTAGE_THREADS must be a positive integer, got {t:?}"),
+        },
+    }
+}
+
+impl ExperimentSpec {
+    /// The default matrix with every `PRESTAGE_*` override applied — the
+    /// spec a figure binary runs when the environment says nothing.
+    pub fn from_env() -> ExperimentSpec {
+        ExperimentSpec::default().env_overrides()
+    }
+
+    /// Fold the `PRESTAGE_*` environment variables over this spec:
+    /// `PRESTAGE_WARMUP`, `PRESTAGE_MEASURE`, `PRESTAGE_SEED`,
+    /// `PRESTAGE_EXEC_SEED`, `PRESTAGE_BENCH` (comma-separated filter) and
+    /// `PRESTAGE_THREADS`.  Unset (or empty) variables leave the spec
+    /// field untouched; malformed values abort with the variable name.
+    ///
+    /// The experiment axes (presets, tech, sizes, predictor) have no env
+    /// form on purpose: changing *what* is measured is a spec edit, not a
+    /// shell prefix.
+    pub fn env_overrides(self) -> ExperimentSpec {
+        self.env_overrides_with(std_env)
+    }
+
+    /// [`env_overrides`](Self::env_overrides) with an injectable lookup
+    /// (tests override without mutating process-global state).
+    fn env_overrides_with(mut self, get: impl Fn(&str) -> Option<String>) -> ExperimentSpec {
+        let u64_of = |name: &str, current: u64| {
+            parse_env_u64(name, get(name).as_deref(), current)
+        };
+        self.warmup_insts = u64_of("PRESTAGE_WARMUP", self.warmup_insts);
+        self.measure_insts = u64_of("PRESTAGE_MEASURE", self.measure_insts);
+        self.workload_seed = u64_of("PRESTAGE_SEED", self.workload_seed);
+        self.exec_seed = u64_of("PRESTAGE_EXEC_SEED", self.exec_seed);
+        if let Some(v) = get("PRESTAGE_BENCH") {
+            if !v.trim().is_empty() {
+                self.bench = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+        }
+        if let Some(t) = parse_threads(get("PRESTAGE_THREADS").as_deref()) {
+            self.threads = Some(t);
+        }
+        self
+    }
+
+    // -----------------------------------------------------------------------
+    // Derived views.
+    // -----------------------------------------------------------------------
+
+    /// Check every invariant the runner assumes.  All spec consumers call
+    /// this before running; the error strings are user-facing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.presets.is_empty() {
+            return Err("spec has no presets".into());
+        }
+        for (i, p) in self.presets.iter().enumerate() {
+            if self.presets[..i].contains(p) {
+                return Err(format!("duplicate preset {:?} in spec", p.id()));
+            }
+        }
+        if self.l1_sizes.is_empty() {
+            return Err("spec has no L1 sizes".into());
+        }
+        for (i, s) in self.l1_sizes.iter().enumerate() {
+            if self.l1_sizes[..i].contains(s) {
+                return Err(format!("duplicate L1 size {s} in spec"));
+            }
+            if *s < 64 {
+                return Err(format!("L1 size {s} is smaller than one 64B line"));
+            }
+        }
+        if self.measure_insts == 0 {
+            return Err("measure_insts must be at least 1".into());
+        }
+        if self.threads == Some(0) {
+            return Err("threads must be at least 1 (or null for auto)".into());
+        }
+        self.bench_profiles().map(|_| ())
+    }
+
+    /// Resolve the benchmark filter to profiles, in *filter order* (or the
+    /// canonical SPECint2000 order when no filter is set).
+    ///
+    /// An unknown or duplicate name fails with the full list of valid
+    /// names — a typo must not silently shrink the workload set.
+    pub fn bench_profiles(&self) -> Result<Vec<BenchmarkProfile>, String> {
+        let all = specint2000();
+        let Some(filter) = &self.bench else {
+            return Ok(all);
+        };
+        if filter.is_empty() {
+            return Err("bench filter is empty — it matches no benchmarks \
+                        (use null for the full set)"
+                .into());
+        }
+        let mut out = Vec::with_capacity(filter.len());
+        for name in filter {
+            if out.iter().any(|p: &BenchmarkProfile| p.name == name) {
+                return Err(format!("benchmark {name:?} listed twice in the filter"));
+            }
+            match all.iter().find(|p| p.name == name) {
+                Some(p) => out.push(p.clone()),
+                None => {
+                    let valid: Vec<&str> = all.iter().map(|p| p.name).collect();
+                    return Err(format!(
+                        "unknown benchmark {name:?}; valid names: {}",
+                        valid.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolved benchmark names (the grid's innermost axis labels).
+    pub fn bench_names(&self) -> Result<Vec<&'static str>, String> {
+        Ok(self.bench_profiles()?.iter().map(|p| p.name).collect())
+    }
+
+    /// Build the workload set (the expensive step: static program
+    /// synthesis per benchmark, seeded by
+    /// [`workload_seed`](Self::workload_seed)).
+    pub fn build_workloads(&self) -> Result<Vec<Workload>, String> {
+        Ok(self
+            .bench_profiles()?
+            .iter()
+            .map(|p| build(p, self.workload_seed))
+            .collect())
+    }
+
+    /// The full simulator configuration for one (preset, L1 size) grid
+    /// point of this spec.
+    pub fn sim_config(&self, preset: ConfigPreset, l1: usize) -> SimConfig {
+        SimConfig::preset(preset, self.tech, l1).with_insts(self.warmup_insts, self.measure_insts)
+    }
+
+    /// Resolved pool width.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
+    }
+
+    // -----------------------------------------------------------------------
+    // JSON round-trip.
+    // -----------------------------------------------------------------------
+
+    pub fn to_json_value(&self) -> Json {
+        // Exhaustive destructuring: adding a spec field without extending
+        // the codec must not compile.
+        let ExperimentSpec {
+            presets,
+            tech,
+            l1_sizes,
+            bench,
+            warmup_insts,
+            measure_insts,
+            workload_seed,
+            exec_seed,
+            threads,
+            predictor,
+        } = self;
+        Json::obj([
+            ("schema", SPEC_SCHEMA.into()),
+            (
+                "presets",
+                Json::Arr(presets.iter().map(|p| p.id().into()).collect()),
+            ),
+            ("tech", tech.id().into()),
+            (
+                "l1_sizes",
+                Json::Arr(l1_sizes.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "bench",
+                match bench {
+                    None => Json::Null,
+                    Some(names) => {
+                        Json::Arr(names.iter().map(|n| n.as_str().into()).collect())
+                    }
+                },
+            ),
+            ("warmup_insts", (*warmup_insts).into()),
+            ("measure_insts", (*measure_insts).into()),
+            ("workload_seed", (*workload_seed).into()),
+            ("exec_seed", (*exec_seed).into()),
+            ("threads", (*threads).into()),
+            ("predictor", predictor.id().into()),
+        ])
+    }
+
+    /// Serialize as pretty JSON (the on-disk spec-file format).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().pretty()
+    }
+
+    /// Parse a spec from a JSON value.  Strict: every field must be
+    /// present, unknown keys are rejected (a misspelled `"warmupinsts"`
+    /// must not silently fall back to the default run length).
+    pub fn from_json_value(v: &Json) -> Result<ExperimentSpec, String> {
+        let keys = v
+            .keys()
+            .ok_or_else(|| "spec must be a JSON object".to_string())?;
+        const KNOWN: [&str; 11] = [
+            "schema",
+            "presets",
+            "tech",
+            "l1_sizes",
+            "bench",
+            "warmup_insts",
+            "measure_insts",
+            "workload_seed",
+            "exec_seed",
+            "threads",
+            "predictor",
+        ];
+        for k in &keys {
+            if !KNOWN.contains(k) {
+                return Err(format!(
+                    "unknown spec field {k:?} (valid fields: {})",
+                    KNOWN.join(", ")
+                ));
+            }
+        }
+        for k in KNOWN {
+            if !keys.contains(&k) {
+                return Err(format!("spec is missing field {k:?}"));
+            }
+        }
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("schema must be an integer")?;
+        if schema != SPEC_SCHEMA {
+            return Err(format!(
+                "spec schema {schema} not supported (this build reads schema {SPEC_SCHEMA})"
+            ));
+        }
+        let presets = v
+            .get("presets")
+            .and_then(Json::as_arr)
+            .ok_or("presets must be an array")?
+            .iter()
+            .map(|p| {
+                let id = p.as_str().ok_or("presets entries must be strings")?;
+                ConfigPreset::from_id(id).ok_or_else(|| {
+                    let valid: Vec<&str> =
+                        ConfigPreset::all().iter().map(|p| p.id()).collect();
+                    format!("unknown preset {id:?}; valid ids: {}", valid.join(", "))
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let tech_id = v
+            .get("tech")
+            .and_then(Json::as_str)
+            .ok_or("tech must be a string")?;
+        let tech = TechNode::from_id(tech_id).ok_or_else(|| {
+            let valid: Vec<&str> = TechNode::all().iter().map(|n| n.id()).collect();
+            format!("unknown tech node {tech_id:?}; valid ids: {}", valid.join(", "))
+        })?;
+        let l1_sizes = v
+            .get("l1_sizes")
+            .and_then(Json::as_arr)
+            .ok_or("l1_sizes must be an array")?
+            .iter()
+            .map(|s| {
+                s.as_usize()
+                    .ok_or_else(|| format!("bad l1_sizes entry {s:?} (bytes expected)"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let bench = match v.get("bench") {
+            Some(Json::Null) => None,
+            Some(Json::Arr(names)) => Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        n.as_str()
+                            .map(str::to_string)
+                            .ok_or("bench entries must be strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
+            _ => return Err("bench must be null or an array of names".into()),
+        };
+        let u64_field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name} must be an unsigned integer"))
+        };
+        let threads = match v.get("threads") {
+            Some(Json::Null) => None,
+            Some(t) => Some(
+                t.as_usize()
+                    .ok_or("threads must be null or a positive integer")?,
+            ),
+            None => None,
+        };
+        let pred_id = v
+            .get("predictor")
+            .and_then(Json::as_str)
+            .ok_or("predictor must be a string")?;
+        let predictor = PredictorKind::from_id(pred_id)
+            .ok_or_else(|| format!("unknown predictor {pred_id:?} (stream or gshare)"))?;
+        Ok(ExperimentSpec {
+            presets,
+            tech,
+            l1_sizes,
+            bench,
+            warmup_insts: u64_field("warmup_insts")?,
+            measure_insts: u64_field("measure_insts")?,
+            workload_seed: u64_field("workload_seed")?,
+            exec_seed: u64_field("exec_seed")?,
+            threads,
+            predictor,
+        })
+    }
+
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        ExperimentSpec::from_json_value(&v)
+    }
+}
+
+impl CellGrid {
+    /// The flat cell grid this spec describes — the work list a single
+    /// process runs whole and `prestage shard` slices.
+    pub fn from_spec(spec: &ExperimentSpec) -> Result<CellGrid, String> {
+        spec.validate()?;
+        Ok(CellGrid::new(
+            spec.presets.clone(),
+            spec.tech,
+            spec.l1_sizes.clone(),
+            spec.bench_names()?.len(),
+            spec.exec_seed,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Running a spec.
+// ---------------------------------------------------------------------------
+
+/// Evaluate an arbitrary slice of a spec's cells (a whole grid or one
+/// shard) on the work-stealing pool, honouring the spec's run lengths,
+/// seeds, pool width and predictor.
+pub fn run_spec_cells(
+    spec: &ExperimentSpec,
+    cells: &[SweepCell],
+) -> Result<Vec<CellResult>, String> {
+    spec.validate()?;
+    let workloads = spec.build_workloads()?;
+    Ok(run_cells_full(
+        cells,
+        &workloads,
+        |c| spec.sim_config(c.preset, c.l1),
+        spec.resolved_threads(),
+        spec.predictor,
+    ))
+}
+
+/// Run the whole experiment in-process: ordered `[preset][size]` rows with
+/// per-benchmark entries in spec bench order.  Errors on an invalid spec.
+pub fn try_run_spec(spec: &ExperimentSpec) -> Result<Vec<Vec<GridResult>>, String> {
+    try_run_spec_over(spec, &spec.build_workloads()?)
+}
+
+/// [`try_run_spec`] over pre-built workloads — for callers running several
+/// derived specs over one bench set (the headline binary runs five), where
+/// rebuilding the synthetic programs per call would dominate.  The
+/// workloads must match the spec's resolved bench set exactly.
+pub fn try_run_spec_over(
+    spec: &ExperimentSpec,
+    workloads: &[Workload],
+) -> Result<Vec<Vec<GridResult>>, String> {
+    let grid = CellGrid::from_spec(spec)?;
+    let names = spec.bench_names()?;
+    if workloads.len() != names.len()
+        || workloads.iter().zip(&names).any(|(w, n)| w.profile.name != *n)
+    {
+        return Err(format!(
+            "given workloads [{}] do not match the spec's bench set [{}]",
+            workloads
+                .iter()
+                .map(|w| w.profile.name)
+                .collect::<Vec<_>>()
+                .join(", "),
+            names.join(", ")
+        ));
+    }
+    let results = run_cells_full(
+        &grid.cells(),
+        workloads,
+        |c| spec.sim_config(c.preset, c.l1),
+        spec.resolved_threads(),
+        spec.predictor,
+    );
+    Ok(grid.merge_named(results, &names))
+}
+
+/// [`try_run_spec`], panicking (loudly, with the spec error) on an invalid
+/// spec — the figure-binary entry point, where an invalid spec is a bug or
+/// a typo'd `PRESTAGE_BENCH` and must abort the reproduction.
+pub fn run_spec(spec: &ExperimentSpec) -> Vec<Vec<GridResult>> {
+    try_run_spec(spec).unwrap_or_else(|e| panic!("invalid experiment spec: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Cell/stats/shard serialization.
+// ---------------------------------------------------------------------------
+
+fn stats_to_json(s: &SimStats) -> Json {
+    // Exhaustive destructuring everywhere in this codec: a new counter
+    // field that is not serialized would silently break the bit-exact
+    // shard/merge guarantee, so it must not compile instead.
+    let SimStats {
+        seed,
+        cycles,
+        committed,
+        front,
+        bus,
+        pred,
+        backend,
+        redirects,
+    } = *s;
+    let prestage_core::FrontStats {
+        fetch_pb,
+        fetch_l0,
+        fetch_l1,
+        fetch_l2,
+        fetch_mem,
+        prefetch_from_pb,
+        prefetch_from_l1,
+        prefetch_from_l2,
+        prefetch_from_mem,
+        prefetches_issued,
+        filtered,
+        pb_alloc_stalls,
+        blocks_pushed,
+        blocks_rejected,
+        flushes,
+        consumer_bumps,
+    } = front;
+    let source = |c: prestage_core::SourceCount| {
+        Json::Arr(vec![c.lines.into(), c.insts.into()])
+    };
+    let prestage_cache::BusStats {
+        grants_dcache,
+        grants_ifetch,
+        grants_prefetch,
+        writebacks,
+        l2_hits,
+        l2_misses,
+        wait_cycles,
+    } = bus;
+    let prestage_bpred::PredStats {
+        predictions,
+        l1_supplied,
+        l2_supplied,
+        fallback_supplied,
+        trained,
+        train_correct,
+    } = pred;
+    let crate::backend::BackendStats {
+        committed: be_committed,
+        loads,
+        stores,
+        dcache_hits,
+        dcache_misses,
+        branches,
+        commit_stall_cycles,
+    } = backend;
+    Json::obj([
+        ("seed", seed.into()),
+        ("cycles", cycles.into()),
+        ("committed", committed.into()),
+        ("redirects", redirects.into()),
+        (
+            "front",
+            Json::obj([
+                ("fetch_pb", source(fetch_pb)),
+                ("fetch_l0", source(fetch_l0)),
+                ("fetch_l1", source(fetch_l1)),
+                ("fetch_l2", source(fetch_l2)),
+                ("fetch_mem", source(fetch_mem)),
+                ("prefetch_from_pb", prefetch_from_pb.into()),
+                ("prefetch_from_l1", prefetch_from_l1.into()),
+                ("prefetch_from_l2", prefetch_from_l2.into()),
+                ("prefetch_from_mem", prefetch_from_mem.into()),
+                ("prefetches_issued", prefetches_issued.into()),
+                ("filtered", filtered.into()),
+                ("pb_alloc_stalls", pb_alloc_stalls.into()),
+                ("blocks_pushed", blocks_pushed.into()),
+                ("blocks_rejected", blocks_rejected.into()),
+                ("flushes", flushes.into()),
+                ("consumer_bumps", consumer_bumps.into()),
+            ]),
+        ),
+        (
+            "bus",
+            Json::obj([
+                ("grants_dcache", grants_dcache.into()),
+                ("grants_ifetch", grants_ifetch.into()),
+                ("grants_prefetch", grants_prefetch.into()),
+                ("writebacks", writebacks.into()),
+                ("l2_hits", l2_hits.into()),
+                ("l2_misses", l2_misses.into()),
+                ("wait_cycles", wait_cycles.into()),
+            ]),
+        ),
+        (
+            "pred",
+            Json::obj([
+                ("predictions", predictions.into()),
+                ("l1_supplied", l1_supplied.into()),
+                ("l2_supplied", l2_supplied.into()),
+                ("fallback_supplied", fallback_supplied.into()),
+                ("trained", trained.into()),
+                ("train_correct", train_correct.into()),
+            ]),
+        ),
+        (
+            "backend",
+            Json::obj([
+                ("committed", be_committed.into()),
+                ("loads", loads.into()),
+                ("stores", stores.into()),
+                ("dcache_hits", dcache_hits.into()),
+                ("dcache_misses", dcache_misses.into()),
+                ("branches", branches.into()),
+                ("commit_stall_cycles", commit_stall_cycles.into()),
+            ]),
+        ),
+    ])
+}
+
+fn u64_of(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer stats field {key:?}"))
+}
+
+fn source_of(v: &Json, key: &str) -> Result<prestage_core::SourceCount, String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| format!("stats field {key:?} must be a [lines, insts] pair"))?;
+    Ok(prestage_core::SourceCount {
+        lines: arr[0]
+            .as_u64()
+            .ok_or_else(|| format!("bad lines count in {key:?}"))?,
+        insts: arr[1]
+            .as_u64()
+            .ok_or_else(|| format!("bad insts count in {key:?}"))?,
+    })
+}
+
+fn stats_from_json(v: &Json) -> Result<SimStats, String> {
+    let sub = |key: &str| {
+        v.get(key)
+            .filter(|s| matches!(s, Json::Obj(_)))
+            .ok_or_else(|| format!("missing stats block {key:?}"))
+    };
+    let front = sub("front")?;
+    let bus = sub("bus")?;
+    let pred = sub("pred")?;
+    let backend = sub("backend")?;
+    Ok(SimStats {
+        seed: u64_of(v, "seed")?,
+        cycles: u64_of(v, "cycles")?,
+        committed: u64_of(v, "committed")?,
+        redirects: u64_of(v, "redirects")?,
+        front: prestage_core::FrontStats {
+            fetch_pb: source_of(front, "fetch_pb")?,
+            fetch_l0: source_of(front, "fetch_l0")?,
+            fetch_l1: source_of(front, "fetch_l1")?,
+            fetch_l2: source_of(front, "fetch_l2")?,
+            fetch_mem: source_of(front, "fetch_mem")?,
+            prefetch_from_pb: u64_of(front, "prefetch_from_pb")?,
+            prefetch_from_l1: u64_of(front, "prefetch_from_l1")?,
+            prefetch_from_l2: u64_of(front, "prefetch_from_l2")?,
+            prefetch_from_mem: u64_of(front, "prefetch_from_mem")?,
+            prefetches_issued: u64_of(front, "prefetches_issued")?,
+            filtered: u64_of(front, "filtered")?,
+            pb_alloc_stalls: u64_of(front, "pb_alloc_stalls")?,
+            blocks_pushed: u64_of(front, "blocks_pushed")?,
+            blocks_rejected: u64_of(front, "blocks_rejected")?,
+            flushes: u64_of(front, "flushes")?,
+            consumer_bumps: u64_of(front, "consumer_bumps")?,
+        },
+        bus: prestage_cache::BusStats {
+            grants_dcache: u64_of(bus, "grants_dcache")?,
+            grants_ifetch: u64_of(bus, "grants_ifetch")?,
+            grants_prefetch: u64_of(bus, "grants_prefetch")?,
+            writebacks: u64_of(bus, "writebacks")?,
+            l2_hits: u64_of(bus, "l2_hits")?,
+            l2_misses: u64_of(bus, "l2_misses")?,
+            wait_cycles: u64_of(bus, "wait_cycles")?,
+        },
+        pred: prestage_bpred::PredStats {
+            predictions: u64_of(pred, "predictions")?,
+            l1_supplied: u64_of(pred, "l1_supplied")?,
+            l2_supplied: u64_of(pred, "l2_supplied")?,
+            fallback_supplied: u64_of(pred, "fallback_supplied")?,
+            trained: u64_of(pred, "trained")?,
+            train_correct: u64_of(pred, "train_correct")?,
+        },
+        backend: crate::backend::BackendStats {
+            committed: u64_of(backend, "committed")?,
+            loads: u64_of(backend, "loads")?,
+            stores: u64_of(backend, "stores")?,
+            dcache_hits: u64_of(backend, "dcache_hits")?,
+            dcache_misses: u64_of(backend, "dcache_misses")?,
+            branches: u64_of(backend, "branches")?,
+            commit_stall_cycles: u64_of(backend, "commit_stall_cycles")?,
+        },
+    })
+}
+
+fn cell_to_json(c: &SweepCell) -> Json {
+    let SweepCell {
+        preset,
+        tech,
+        l1,
+        bench_idx,
+        exec_seed,
+    } = *c;
+    Json::obj([
+        ("preset", preset.id().into()),
+        ("tech", tech.id().into()),
+        ("l1", l1.into()),
+        ("bench_idx", bench_idx.into()),
+        ("exec_seed", exec_seed.into()),
+    ])
+}
+
+fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
+    let preset_id = v
+        .get("preset")
+        .and_then(Json::as_str)
+        .ok_or("cell preset must be a string")?;
+    let tech_id = v
+        .get("tech")
+        .and_then(Json::as_str)
+        .ok_or("cell tech must be a string")?;
+    Ok(SweepCell {
+        preset: ConfigPreset::from_id(preset_id)
+            .ok_or_else(|| format!("unknown preset {preset_id:?} in cell"))?,
+        tech: TechNode::from_id(tech_id)
+            .ok_or_else(|| format!("unknown tech {tech_id:?} in cell"))?,
+        l1: v
+            .get("l1")
+            .and_then(Json::as_usize)
+            .ok_or("cell l1 must be an integer")?,
+        bench_idx: v
+            .get("bench_idx")
+            .and_then(Json::as_usize)
+            .ok_or("cell bench_idx must be an integer")?,
+        exec_seed: u64_of(v, "exec_seed")?,
+    })
+}
+
+/// One process's share of a sharded sweep: the spec, the half-open cell
+/// range `[start, end)` it evaluated, and the per-cell results.  Written
+/// by `prestage shard`, consumed by `prestage merge`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFile {
+    pub spec: ExperimentSpec,
+    pub start: usize,
+    pub end: usize,
+    pub results: Vec<CellResult>,
+}
+
+// CellResult carries a wall-clock Duration, which has no meaningful
+// equality across runs; compare shard files by cell identity and stats.
+impl PartialEq for CellResult {
+    fn eq(&self, other: &CellResult) -> bool {
+        self.cell == other.cell && self.stats == other.stats
+    }
+}
+
+impl ShardFile {
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", SPEC_SCHEMA.into()),
+            ("spec", self.spec.to_json_value()),
+            (
+                "cells",
+                Json::obj([("start", self.start.into()), ("end", self.end.into())]),
+            ),
+            (
+                "results",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("cell", cell_to_json(&r.cell)),
+                                // Wall-clock is diagnostic only; merge
+                                // output never includes it.
+                                ("wall_s", r.wall.as_secs_f64().into()),
+                                ("stats", stats_to_json(&r.stats)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
+    }
+
+    pub fn from_json(text: &str) -> Result<ShardFile, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("shard file has no schema")?;
+        if schema != SPEC_SCHEMA {
+            return Err(format!("shard schema {schema} not supported"));
+        }
+        let spec = ExperimentSpec::from_json_value(
+            v.get("spec").ok_or("shard file has no spec")?,
+        )?;
+        let cells = v.get("cells").ok_or("shard file has no cells range")?;
+        let start = cells
+            .get("start")
+            .and_then(Json::as_usize)
+            .ok_or("bad cells.start")?;
+        let end = cells
+            .get("end")
+            .and_then(Json::as_usize)
+            .ok_or("bad cells.end")?;
+        let results = v
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("shard file has no results array")?
+            .iter()
+            .map(|r| {
+                Ok(CellResult {
+                    cell: cell_from_json(r.get("cell").ok_or("result has no cell")?)?,
+                    stats: stats_from_json(r.get("stats").ok_or("result has no stats")?)?,
+                    wall: Duration::from_secs_f64(
+                        r.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+                    ),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if results.len() != end.saturating_sub(start) {
+            return Err(format!(
+                "shard claims cells {start}..{end} but carries {} results",
+                results.len()
+            ));
+        }
+        Ok(ShardFile { spec, start, end, results })
+    }
+}
+
+/// Render merged `[preset][size]` rows as the canonical grid artifact:
+/// deterministic bytes, full per-cell stats, no timing.  A merged
+/// multi-process run and a single-process [`run_spec`] of the same spec
+/// produce identical output — the property the shard/merge CI job diffs.
+///
+/// The embedded spec has `threads` cleared: the pool width is host-local
+/// and never affects results, so two runs that only disagreed on it must
+/// still produce identical bytes.
+pub fn grid_output(spec: &ExperimentSpec, rows: &[Vec<GridResult>]) -> String {
+    let spec = &ExperimentSpec {
+        threads: None,
+        ..spec.clone()
+    };
+    let mut out_rows = Vec::new();
+    for (preset, row) in spec.presets.iter().zip(rows) {
+        for (&l1, r) in spec.l1_sizes.iter().zip(row) {
+            out_rows.push(Json::obj([
+                ("preset", preset.id().into()),
+                ("l1", l1.into()),
+                ("hmean_ipc", r.hmean_ipc().into()),
+                (
+                    "per_bench",
+                    Json::Arr(
+                        r.per_bench
+                            .iter()
+                            .map(|(name, s)| {
+                                Json::obj([
+                                    ("bench", name.as_str().into()),
+                                    ("ipc", s.ipc().into()),
+                                    ("stats", stats_to_json(s)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+    Json::obj([
+        ("schema", SPEC_SCHEMA.into()),
+        ("spec", spec.to_json_value()),
+        ("rows", Json::Arr(out_rows)),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            presets: vec![ConfigPreset::Base, ConfigPreset::ClgpL0],
+            tech: TechNode::T090,
+            l1_sizes: vec![1 << 10, 4 << 10],
+            bench: Some(vec!["gzip".into()]),
+            warmup_insts: 1_000,
+            measure_insts: 4_000,
+            workload_seed: 7,
+            exec_seed: 3,
+            threads: Some(2),
+            predictor: PredictorKind::Stream,
+        }
+    }
+
+    #[test]
+    fn default_spec_is_the_paper_matrix_and_validates() {
+        let spec = ExperimentSpec::default();
+        assert_eq!(spec.presets.len(), 10);
+        assert_eq!(spec.l1_sizes, L1_SIZES.to_vec());
+        assert_eq!(spec.bench_names().unwrap().len(), 12);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        for spec in [ExperimentSpec::default(), tiny_spec()] {
+            let text = spec.to_json();
+            let back = ExperimentSpec::from_json(&text).unwrap();
+            assert_eq!(back, spec);
+            // Canonical: serializing again is byte-identical.
+            assert_eq!(back.to_json(), text);
+        }
+    }
+
+    #[test]
+    fn unknown_bench_fails_loudly_with_the_valid_names() {
+        let mut spec = tiny_spec();
+        spec.bench = Some(vec!["gzpi".into()]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("unknown benchmark \"gzpi\""), "{err}");
+        assert!(err.contains("gzip") && err.contains("twolf"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let mut s = tiny_spec();
+        s.presets.push(ConfigPreset::Base);
+        assert!(s.validate().unwrap_err().contains("duplicate preset"));
+        let mut s = tiny_spec();
+        s.l1_sizes = vec![];
+        assert!(s.validate().unwrap_err().contains("no L1 sizes"));
+        let mut s = tiny_spec();
+        s.bench = Some(vec![]);
+        assert!(s.validate().unwrap_err().contains("matches no benchmarks"));
+        let mut s = tiny_spec();
+        s.bench = Some(vec!["gzip".into(), "gzip".into()]);
+        assert!(s.validate().unwrap_err().contains("listed twice"));
+        let mut s = tiny_spec();
+        s.threads = Some(0);
+        assert!(s.validate().unwrap_err().contains("threads"));
+        let mut s = tiny_spec();
+        s.measure_insts = 0;
+        assert!(s.validate().unwrap_err().contains("measure_insts"));
+    }
+
+    #[test]
+    fn from_json_rejects_typos_and_wrong_schemas() {
+        let good = tiny_spec().to_json();
+        let e = ExperimentSpec::from_json(&good.replace("warmup_insts", "warmupinsts"))
+            .unwrap_err();
+        assert!(e.contains("unknown spec field"), "{e}");
+        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 1", "\"schema\": 99"))
+            .unwrap_err();
+        assert!(e.contains("schema 99"), "{e}");
+        let e = ExperimentSpec::from_json(&good.replace("\"clgp+l0\"", "\"clgp+l9\""))
+            .unwrap_err();
+        assert!(e.contains("unknown preset"), "{e}");
+        assert!(ExperimentSpec::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn env_layer_overrides_only_what_is_set() {
+        let env: HashMap<&str, &str> = [
+            ("PRESTAGE_MEASURE", "9000"),
+            ("PRESTAGE_BENCH", "gcc, mcf"),
+            ("PRESTAGE_THREADS", "3"),
+        ]
+        .into_iter()
+        .collect();
+        let spec = tiny_spec()
+            .env_overrides_with(|k| env.get(k).map(|v| v.to_string()));
+        assert_eq!(spec.measure_insts, 9_000);
+        assert_eq!(spec.bench, Some(vec!["gcc".to_string(), "mcf".to_string()]));
+        assert_eq!(spec.threads, Some(3));
+        // Untouched fields keep the base spec's values.
+        assert_eq!(spec.warmup_insts, 1_000);
+        assert_eq!(spec.workload_seed, 7);
+        // Empty values count as unset.
+        let spec = tiny_spec().env_overrides_with(|k| {
+            (k == "PRESTAGE_BENCH" || k == "PRESTAGE_THREADS").then(|| "  ".to_string())
+        });
+        assert_eq!(spec.bench, Some(vec!["gzip".to_string()]));
+        assert_eq!(spec.threads, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "PRESTAGE_MEASURE must be an unsigned integer")]
+    fn env_layer_rejects_scientific_notation() {
+        tiny_spec().env_overrides_with(|k| {
+            (k == "PRESTAGE_MEASURE").then(|| "1e6".to_string())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "PRESTAGE_THREADS must be a positive integer")]
+    fn env_layer_rejects_zero_threads() {
+        tiny_spec().env_overrides_with(|k| {
+            (k == "PRESTAGE_THREADS").then(|| "0".to_string())
+        });
+    }
+
+    #[test]
+    fn env_u64_parse_accepts_good_values_and_defaults() {
+        assert_eq!(parse_env_u64("X", None, 7), 7);
+        assert_eq!(parse_env_u64("X", Some(""), 7), 7);
+        assert_eq!(parse_env_u64("X", Some("  "), 7), 7);
+        assert_eq!(parse_env_u64("X", Some("123"), 7), 123);
+        assert_eq!(parse_env_u64("X", Some(" 42 "), 7), 42);
+    }
+
+    #[test]
+    fn grid_from_spec_matches_axes() {
+        let spec = tiny_spec();
+        let grid = CellGrid::from_spec(&spec).unwrap();
+        assert_eq!(grid.n_cells(), 4);
+        let c = grid.cell_at(0);
+        assert_eq!(c.preset, ConfigPreset::Base);
+        assert_eq!(c.tech, TechNode::T090);
+        assert_eq!(c.exec_seed, 3);
+    }
+
+    #[test]
+    fn stats_codec_roundtrips_every_field_exactly() {
+        // Fill each counter with a distinct value (including one above
+        // 2^53) so a swapped or dropped field cannot cancel out.
+        let mut n = (1u64 << 53) + 1;
+        let mut next = || {
+            n += 1;
+            n
+        };
+        let s = SimStats {
+            seed: next(),
+            cycles: next(),
+            committed: next(),
+            redirects: next(),
+            front: prestage_core::FrontStats {
+                fetch_pb: prestage_core::SourceCount { lines: next(), insts: next() },
+                fetch_l0: prestage_core::SourceCount { lines: next(), insts: next() },
+                fetch_l1: prestage_core::SourceCount { lines: next(), insts: next() },
+                fetch_l2: prestage_core::SourceCount { lines: next(), insts: next() },
+                fetch_mem: prestage_core::SourceCount { lines: next(), insts: next() },
+                prefetch_from_pb: next(),
+                prefetch_from_l1: next(),
+                prefetch_from_l2: next(),
+                prefetch_from_mem: next(),
+                prefetches_issued: next(),
+                filtered: next(),
+                pb_alloc_stalls: next(),
+                blocks_pushed: next(),
+                blocks_rejected: next(),
+                flushes: next(),
+                consumer_bumps: next(),
+            },
+            bus: prestage_cache::BusStats {
+                grants_dcache: next(),
+                grants_ifetch: next(),
+                grants_prefetch: next(),
+                writebacks: next(),
+                l2_hits: next(),
+                l2_misses: next(),
+                wait_cycles: next(),
+            },
+            pred: prestage_bpred::PredStats {
+                predictions: next(),
+                l1_supplied: next(),
+                l2_supplied: next(),
+                fallback_supplied: next(),
+                trained: next(),
+                train_correct: next(),
+            },
+            backend: crate::backend::BackendStats {
+                committed: next(),
+                loads: next(),
+                stores: next(),
+                dcache_hits: next(),
+                dcache_misses: next(),
+                branches: next(),
+                commit_stall_cycles: next(),
+            },
+        };
+        let v = stats_to_json(&s);
+        let back = stats_from_json(&Json::parse(&v.pretty()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn shard_file_roundtrips_and_checks_its_count() {
+        let spec = tiny_spec();
+        let grid = CellGrid::from_spec(&spec).unwrap();
+        let results = run_spec_cells(&spec, &grid.cells()[1..3]).unwrap();
+        let shard = ShardFile { spec, start: 1, end: 3, results };
+        let text = shard.to_json();
+        let back = ShardFile::from_json(&text).unwrap();
+        assert_eq!(back, shard);
+        // A shard that lost a result line must not parse.
+        let broken = text.replacen("\"end\": 3", "\"end\": 4", 1);
+        assert!(ShardFile::from_json(&broken).unwrap_err().contains("carries"));
+    }
+
+    #[test]
+    fn run_spec_matches_the_raw_runner_bit_exactly() {
+        let spec = tiny_spec();
+        let rows = try_run_spec(&spec).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2);
+        let w = spec.build_workloads().unwrap();
+        for (pi, &preset) in spec.presets.iter().enumerate() {
+            for (si, &l1) in spec.l1_sizes.iter().enumerate() {
+                let direct = crate::Engine::new(
+                    spec.sim_config(preset, l1),
+                    &w[0],
+                    spec.exec_seed,
+                )
+                .run();
+                assert_eq!(rows[pi][si].per_bench[0].1, direct);
+                assert_eq!(rows[pi][si].per_bench[0].0, "gzip");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_output_is_deterministic_and_thread_blind() {
+        let spec = tiny_spec();
+        let rows = try_run_spec(&spec).unwrap();
+        let a = grid_output(&spec, &rows);
+        let b = grid_output(&spec, &try_run_spec(&spec).unwrap());
+        assert_eq!(a, b);
+        assert!(Json::parse(&a).is_ok());
+        // The pool width is host-local: a run that only differed in
+        // `threads` must still produce identical artifact bytes.
+        let wider = ExperimentSpec { threads: Some(7), ..spec.clone() };
+        assert_eq!(grid_output(&wider, &try_run_spec(&wider).unwrap()), a);
+    }
+}

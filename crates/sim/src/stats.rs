@@ -8,7 +8,12 @@ use serde::{Deserialize, Serialize};
 use crate::backend::BackendStats;
 
 /// Everything measured in one simulation run (post-warm-up window).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+///
+/// All fields (including the nested stat blocks) are integer counters, so
+/// equality is exact and the JSON codec in [`crate::spec`] round-trips a
+/// run bit-for-bit — the property the `prestage shard`/`merge` pipeline
+/// relies on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Benchmark-identifying seed the run used.
     pub seed: u64,

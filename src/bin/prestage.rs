@@ -1,127 +1,253 @@
-//! `prestage` — command-line front door to the simulator.
+//! `prestage` — the spec-driven front door to the simulator.
+//!
+//! Every experiment is an `ExperimentSpec`: a serializable value naming
+//! the presets, tech node, L1 sizes, benchmark filter, run lengths, seeds
+//! and predictor.  The CLI runs specs whole, shards them across
+//! processes, and merges shard outputs back into the exact single-process
+//! result:
 //!
 //! ```text
-//! prestage run   --bench gcc --preset clgp+l0 --l1 4K --tech 45
-//! prestage sweep --preset clgp+l0 --tech 45
+//! prestage run   <spec.json | figure> [--out <file>]
+//! prestage shard --spec <spec.json | figure> --cells A..B --out <file>
+//! prestage merge <shard.json>... [--out <file>]
+//! prestage spec  <figure> [--out <file>]
 //! prestage list
 //! ```
+//!
+//! A *figure* argument (`fig1`, `fig5b`, ...) resolves to the declared
+//! spec from `prestage_bench::figures` with the `PRESTAGE_*` environment
+//! overrides applied — exactly what the figure binary would run.  A
+//! *file* argument is taken verbatim: what is in the file is what runs,
+//! so two shards of the same file are guaranteed to agree.
+//!
+//! `run --out` and `merge --out` write the same canonical grid JSON, so
+//! `diff` proves a sharded run reproduced the single-process results
+//! bit-exactly (CI does exactly that; see `.github/workflows/ci.yml`).
 
-use fetch_prestaging::prelude::*;
-use fetch_prestaging::sim::run_config_over;
-use prestage_workload::{build, specint2000};
-
-fn parse_size(s: &str) -> Option<usize> {
-    let s = s.trim().to_uppercase();
-    if let Some(k) = s.strip_suffix('K') {
-        k.parse::<usize>().ok().map(|v| v << 10)
-    } else {
-        s.strip_suffix('B')
-            .unwrap_or(&s)
-            .parse::<usize>()
-            .ok()
-    }
-}
-
-fn parse_preset(s: &str) -> Option<ConfigPreset> {
-    use ConfigPreset::*;
-    Some(match s.to_lowercase().as_str() {
-        "base" => Base,
-        "base+l0" => BaseL0,
-        "pipelined" | "base-pipelined" => BasePipelined,
-        "ideal" => Ideal,
-        "fdp" => Fdp,
-        "fdp+l0" => FdpL0,
-        "fdp+l0+pb16" => FdpL0Pb16,
-        "clgp" => Clgp,
-        "clgp+l0" => ClgpL0,
-        "clgp+l0+pb16" => ClgpL0Pb16,
-        _ => return None,
-    })
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use prestage_bench::figures::{self, Figure};
+use prestage_bench::report;
+use prestage_sim::spec::{grid_output, run_spec_cells, ShardFile};
+use prestage_sim::{try_run_spec, CellGrid, ConfigPreset, ExperimentSpec, GridResult};
+use prestage_workload::specint2000;
+use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  prestage run   --bench <name> [--preset <p>] [--l1 <size>] [--tech 90|45] [--insts N]\n  prestage sweep [--preset <p>] [--tech 90|45]\n  prestage list\n\npresets: base, base+l0, pipelined, ideal, fdp, fdp+l0, fdp+l0+pb16, clgp, clgp+l0, clgp+l0+pb16"
+        "usage:\n  \
+         prestage run   <spec.json | figure> [--out <file>]\n  \
+         prestage shard --spec <spec.json | figure> --cells A..B --out <file>\n  \
+         prestage merge <shard.json>... [--out <file>]\n  \
+         prestage spec  <figure> [--out <file>]\n  \
+         prestage list\n\n\
+         A figure name (see `prestage list`) runs its declared spec with the\n\
+         PRESTAGE_* environment overrides applied; a spec file runs verbatim."
     );
-    std::process::exit(2);
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("prestage: {msg}");
+    exit(2);
+}
+
+/// Value following `--key`, removed from `args` together with the key.
+fn take_flag(args: &mut Vec<String>, key: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == key)?;
+    if i + 1 >= args.len() {
+        fail(&format!("{key} needs a value"));
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+/// Resolve a spec argument: an existing file parses verbatim; otherwise a
+/// declared figure name (whose spec gets the environment overrides, like
+/// the figure binary).  Returns the figure declaration when there is one,
+/// so `run` can render the figure's own report kind.
+fn load_spec(arg: &str) -> (ExperimentSpec, Option<&'static Figure>) {
+    let path = std::path::Path::new(arg);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {arg}: {e}")));
+        let spec = ExperimentSpec::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("{arg}: {e}")));
+        if let Err(e) = spec.validate() {
+            fail(&format!("{arg}: {e}"));
+        }
+        return (spec, None);
+    }
+    if let Some(fig) = figures::by_name(arg) {
+        return ((fig.make_spec)().env_overrides(), Some(fig));
+    }
+    let names: Vec<&str> = figures::FIGURES.iter().map(|f| f.name).collect();
+    fail(&format!(
+        "{arg:?} is neither a spec file nor a figure (figures: {})",
+        names.join(", ")
+    ));
+}
+
+fn write_out(path: &str, content: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, content)
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote {path}");
+}
+
+fn cmd_run(mut args: Vec<String>) {
+    let out = take_flag(&mut args, "--out");
+    let [arg] = args.as_slice() else { usage() };
+    let (spec, fig) = load_spec(arg);
+    let t0 = std::time::Instant::now();
+    let rows = try_run_spec(&spec).unwrap_or_else(|e| fail(&e));
+    eprintln!(
+        "  ran {} cells in {:.2}s",
+        spec.presets.len() * spec.l1_sizes.len() * rows[0][0].per_bench.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    match fig {
+        // A declared figure renders exactly like its binary (CSV included).
+        Some(f) => report::render(f.report, f.title, f.name, &spec, &rows),
+        // An ad-hoc spec file prints the table without touching results/.
+        None => report::sweep_table(&format!("spec {arg}"), &spec, &rows),
+    }
+    if let Some(path) = out {
+        write_out(&path, &grid_output(&spec, &rows));
+    }
+}
+
+fn parse_range(s: &str, n_cells: usize) -> (usize, usize) {
+    let parsed = s.split_once("..").and_then(|(a, b)| {
+        Some((a.trim().parse::<usize>().ok()?, b.trim().parse::<usize>().ok()?))
+    });
+    let Some((start, end)) = parsed else {
+        fail(&format!("--cells wants A..B (half-open), got {s:?}"));
+    };
+    if start >= end || end > n_cells {
+        fail(&format!(
+            "cell range {start}..{end} is invalid for this spec's {n_cells} cells"
+        ));
+    }
+    (start, end)
+}
+
+fn cmd_shard(mut args: Vec<String>) {
+    let spec_arg = take_flag(&mut args, "--spec").unwrap_or_else(|| usage());
+    let range_arg = take_flag(&mut args, "--cells").unwrap_or_else(|| usage());
+    let out = take_flag(&mut args, "--out").unwrap_or_else(|| usage());
+    if !args.is_empty() {
+        usage();
+    }
+    let (spec, _) = load_spec(&spec_arg);
+    let grid = CellGrid::from_spec(&spec).unwrap_or_else(|e| fail(&e));
+    let (start, end) = parse_range(&range_arg, grid.n_cells());
+    let cells = grid.cells();
+    let t0 = std::time::Instant::now();
+    let results = run_spec_cells(&spec, &cells[start..end]).unwrap_or_else(|e| fail(&e));
+    eprintln!(
+        "  shard {start}..{end}: ran {} of {} cells in {:.2}s",
+        end - start,
+        grid.n_cells(),
+        t0.elapsed().as_secs_f64()
+    );
+    let shard = ShardFile { spec, start, end, results };
+    write_out(&out, &shard.to_json());
+}
+
+/// Spec with the host-local pool width cleared: two shards that only
+/// disagree on `threads` still describe the same experiment.
+fn portable(spec: &ExperimentSpec) -> ExperimentSpec {
+    ExperimentSpec { threads: None, ..spec.clone() }
+}
+
+fn cmd_merge(mut args: Vec<String>) {
+    let out = take_flag(&mut args, "--out");
+    if args.is_empty() {
+        usage();
+    }
+    let mut shards: Vec<(String, ShardFile)> = Vec::new();
+    for path in args {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let shard = ShardFile::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        shards.push((path, shard));
+    }
+    let spec = shards[0].1.spec.clone();
+    for (path, shard) in &shards[1..] {
+        if portable(&shard.spec) != portable(&spec) {
+            fail(&format!(
+                "{path} was produced from a different spec than {} — refusing to merge",
+                shards[0].0
+            ));
+        }
+    }
+    let grid = CellGrid::from_spec(&spec).unwrap_or_else(|e| fail(&e));
+    let names = spec.bench_names().unwrap_or_else(|e| fail(&e));
+    let results: Vec<_> = shards.into_iter().flat_map(|(_, s)| s.results).collect();
+    // merge_named fails loudly on duplicate or missing cells — a sharded
+    // run that lost a cell must not ship a partial figure.
+    let rows: Vec<Vec<GridResult>> = grid.merge_named(results, &names);
+    report::sweep_table("merged shards", &spec, &rows);
+    if let Some(path) = out {
+        write_out(&path, &grid_output(&spec, &rows));
+    }
+}
+
+/// Dump a declared figure's spec as JSON — the starting point for a
+/// custom spec file (`prestage spec fig5b --out mine.json`, edit, run).
+/// The environment overrides are *not* applied: the output is the
+/// declaration itself, reproducible regardless of the caller's shell.
+fn cmd_spec(mut args: Vec<String>) {
+    let out = take_flag(&mut args, "--out");
+    let [name] = args.as_slice() else { usage() };
+    let Some(fig) = figures::by_name(name) else {
+        let names: Vec<&str> = figures::FIGURES.iter().map(|f| f.name).collect();
+        fail(&format!("unknown figure {name:?} (figures: {})", names.join(", ")));
+    };
+    let text = (fig.make_spec)().to_json();
+    match out {
+        Some(path) => write_out(&path, &text),
+        None => print!("{text}"),
+    }
+}
+
+fn cmd_list() {
+    println!("# figures (prestage run <name>; PRESTAGE_* overrides apply)");
+    for f in &figures::FIGURES {
+        println!("  {:<7} {}", f.name, f.title);
+    }
+    println!("\n# presets (spec \"presets\" entries)");
+    for p in ConfigPreset::all() {
+        println!("  {:<14} {}", p.id(), p.label());
+    }
+    println!("\n# tech nodes (spec \"tech\")");
+    for n in prestage_cacti::TechNode::all() {
+        println!("  {:<5} {}", n.id(), n.label());
+    }
+    println!("\n# benchmarks (spec \"bench\" entries; null = all)");
+    println!("  {:<10} {:>8} {:>7} {:>8}", "name", "code KB", "funcs", "data KB");
+    for p in specint2000() {
+        println!(
+            "  {:<10} {:>8} {:>7} {:>8}",
+            p.name, p.i_footprint_kb, p.n_funcs, p.d_footprint_kb
+        );
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("");
-    let tech = match arg_value(&args, "--tech").as_deref() {
-        Some("90") => TechNode::T090,
-        _ => TechNode::T045,
-    };
-    let preset = arg_value(&args, "--preset")
-        .map(|p| parse_preset(&p).unwrap_or_else(|| usage()))
-        .unwrap_or(ConfigPreset::ClgpL0);
-    let l1 = arg_value(&args, "--l1")
-        .map(|s| parse_size(&s).unwrap_or_else(|| usage()))
-        .unwrap_or(4 << 10);
-    let insts: u64 = arg_value(&args, "--insts")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500_000);
-
-    match cmd {
-        "list" => {
-            println!("{:<10} {:>8} {:>7} {:>8}", "benchmark", "code KB", "funcs", "data KB");
-            for p in specint2000() {
-                println!(
-                    "{:<10} {:>8} {:>7} {:>8}",
-                    p.name, p.i_footprint_kb, p.n_funcs, p.d_footprint_kb
-                );
-            }
-        }
-        "run" => {
-            let name = arg_value(&args, "--bench").unwrap_or_else(|| usage());
-            let profile = workload::by_name(&name).unwrap_or_else(|| {
-                eprintln!("unknown benchmark '{name}' (try `prestage list`)");
-                std::process::exit(2);
-            });
-            let w = build(&profile, 42);
-            let cfg = SimConfig::preset(preset, tech, l1).with_insts(insts / 5, insts);
-            let s = Engine::new(cfg, &w, 7).run();
-            println!(
-                "{} | {} | L1 {} | {}",
-                profile.name,
-                preset.label(),
-                l1,
-                tech.label()
-            );
-            println!(
-                "IPC {:.3}  cycles {}  committed {}  redirects {} ({:.2} mpki)",
-                s.ipc(),
-                s.cycles,
-                s.committed,
-                s.redirects,
-                s.mpki()
-            );
-            println!(
-                "fetch sources: PB {:.1}%  L0 {:.1}%  L1 {:.1}%  L2 {:.1}%  Mem {:.1}%",
-                100.0 * s.front.fetch_share(s.front.fetch_pb),
-                100.0 * s.front.fetch_share(s.front.fetch_l0),
-                100.0 * s.front.fetch_share(s.front.fetch_l1),
-                100.0 * s.front.fetch_share(s.front.fetch_l2),
-                100.0 * s.front.fetch_share(s.front.fetch_mem),
-            );
-        }
-        "sweep" => {
-            let workloads: Vec<_> = specint2000().iter().map(|p| build(p, 42)).collect();
-            println!("{:<8} {:>8}", "L1", "HMEAN");
-            for shift in 8..=16 {
-                let size = 1usize << shift;
-                let cfg = SimConfig::preset(preset, tech, size).with_insts(insts / 5, insts);
-                let r = run_config_over(cfg, &workloads, 7);
-                println!("{:<8} {:>8.3}", size, r.hmean_ipc());
-            }
-        }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "shard" => cmd_shard(args),
+        "merge" => cmd_merge(args),
+        "spec" => cmd_spec(args),
+        "list" => cmd_list(),
         _ => usage(),
     }
 }

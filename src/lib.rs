@@ -62,8 +62,8 @@ pub mod prelude {
     pub use prestage_cacti::TechNode;
     pub use prestage_core::{FrontendConfig, PrefetcherKind};
     pub use prestage_sim::{
-        harmonic_mean, run_cells, run_config_over, run_grid, CellGrid, ConfigPreset, Engine,
-        SimConfig, SimStats, SweepCell,
+        harmonic_mean, run_cells, run_config_over, run_grid, run_spec, try_run_spec, CellGrid,
+        ConfigPreset, Engine, ExperimentSpec, SimConfig, SimStats, SweepCell,
     };
 }
 

@@ -1,0 +1,136 @@
+//! Integration test of the `prestage` CLI's scale-out path: two disjoint
+//! shards run as separate OS processes, merged, and diffed byte-for-byte
+//! against a single-process `prestage run` of the same spec — the
+//! acceptance property of the sharding redesign.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn spec_file() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("specs/ci_shard.json")
+}
+
+/// Run the real binary with a scrubbed `PRESTAGE_*` environment (file
+/// specs ignore it by design, but the test must not depend on that).
+fn prestage(args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_prestage"));
+    for var in [
+        "PRESTAGE_WARMUP",
+        "PRESTAGE_MEASURE",
+        "PRESTAGE_SEED",
+        "PRESTAGE_EXEC_SEED",
+        "PRESTAGE_BENCH",
+        "PRESTAGE_THREADS",
+        "PRESTAGE_RESULTS_DIR",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.args(args).output().expect("spawn prestage")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("prestage_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn two_process_shard_merge_equals_single_process_run_byte_exactly() {
+    let dir = TempDir::new("shard_merge");
+    let spec = spec_file();
+    let spec = spec.to_str().unwrap();
+    // specs/ci_shard.json: 2 presets x 2 sizes x 2 benches = 8 cells.
+    // Deliberately uneven split; merge order deliberately reversed.
+    let a = dir.path("a.json");
+    let b = dir.path("b.json");
+    let merged = dir.path("merged.json");
+    let full = dir.path("full.json");
+    assert_ok(
+        &prestage(&["shard", "--spec", spec, "--cells", "0..3", "--out", &a]),
+        "shard A",
+    );
+    assert_ok(
+        &prestage(&["shard", "--spec", spec, "--cells", "3..8", "--out", &b]),
+        "shard B",
+    );
+    assert_ok(&prestage(&["merge", &b, &a, "--out", &merged]), "merge");
+    assert_ok(&prestage(&["run", spec, "--out", &full]), "run");
+
+    let merged_bytes = std::fs::read(&merged).unwrap();
+    let full_bytes = std::fs::read(&full).unwrap();
+    assert!(!merged_bytes.is_empty());
+    assert_eq!(
+        merged_bytes, full_bytes,
+        "merged shard output differs from the single-process run"
+    );
+}
+
+#[test]
+fn merge_refuses_incomplete_or_overlapping_coverage() {
+    let dir = TempDir::new("bad_merge");
+    let spec = spec_file();
+    let spec = spec.to_str().unwrap();
+    let a = dir.path("a.json");
+    assert_ok(
+        &prestage(&["shard", "--spec", spec, "--cells", "0..3", "--out", &a]),
+        "shard A",
+    );
+    // One shard alone: 5 cells missing.
+    let out = prestage(&["merge", &a]);
+    assert!(!out.status.success(), "merge of a partial grid must fail");
+    // The same shard twice: duplicate cells.
+    let out = prestage(&["merge", &a, &a]);
+    assert!(!out.status.success(), "merge of overlapping shards must fail");
+    // An out-of-range shard request fails up front.
+    let out = prestage(&["shard", "--spec", spec, "--cells", "6..9", "--out", &a]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid for this spec"),
+        "range error should name the grid size"
+    );
+}
+
+#[test]
+fn cli_surfaces_spec_errors_loudly() {
+    let dir = TempDir::new("bad_spec");
+    let bad = dir.path("bad.json");
+    let text = std::fs::read_to_string(spec_file())
+        .unwrap()
+        .replace("\"gzip\"", "\"gzpi\"");
+    std::fs::write(&bad, text).unwrap();
+    let out = prestage(&["run", &bad]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown benchmark \"gzpi\"") && stderr.contains("twolf"),
+        "stderr must name the typo and the valid set: {stderr}"
+    );
+    // Unknown figure names list the declared figures.
+    let out = prestage(&["run", "fig99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fig5b"));
+}

@@ -100,6 +100,23 @@ impl Bencher {
 }
 
 fn report(name: &str, median_ns: f64, throughput: Option<Throughput>) {
+    // Machine-readable hook for CI perf tracking: when
+    // `CRITERION_MEDIANS_FILE` names a file, append one
+    // `name<TAB>median_ns` line per benchmark (later lines win on
+    // re-run).  `prestage-bench`'s ci_grid folds the file into its
+    // results/ci_grid.json artifact.
+    if let Some(path) = std::env::var_os("CRITERION_MEDIANS_FILE") {
+        use std::io::Write;
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{name}\t{median_ns}");
+            }
+            Err(e) => eprintln!("warning: cannot append to CRITERION_MEDIANS_FILE: {e}"),
+        }
+    }
     let human = if median_ns < 1_000.0 {
         format!("{median_ns:.1} ns/iter")
     } else if median_ns < 1_000_000.0 {

@@ -95,12 +95,97 @@ fn bench_tracegen(c: &mut Criterion) {
     });
 }
 
+/// Trace I/O hot paths: CRC-verified v2 read throughput (what every
+/// replayed sweep cell pays instead of live generation) and the one-time
+/// record cost.  The `trace/*` medians land in the CI perf artifact via
+/// the `CRITERION_MEDIANS_FILE` hook, next to `engine/*` and `bpred/*`.
+fn bench_trace_io(c: &mut Criterion) {
+    use prestage_workload::{record_trace, InstSource, TraceReader, TraceReplayer};
+    use std::io::Cursor;
+
+    let p = specint2000().into_iter().find(|p| p.name == "vortex").unwrap();
+    let w = build(&p, 42);
+    const N: u64 = 64 * 1024;
+    let mut bytes = Cursor::new(Vec::new());
+    record_trace(&mut bytes, &w, 7, N, 4096).unwrap();
+    let bytes = bytes.into_inner();
+
+    // Decode + CRC-verify the whole 64K-inst trace (per-inst cost is the
+    // replay-side comparison point for workload/stream_generation).
+    c.bench_function("trace/read_64k_insts", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for rec in TraceReader::new(&bytes[..]).unwrap() {
+                black_box(rec.unwrap());
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // The sweep-cell fast path: structural decode only, CRCs already
+    // verified once by the spec runner.
+    c.bench_function("trace/read_trusted_64k_insts", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for rec in TraceReader::trusted(&bytes[..]).unwrap() {
+                black_box(rec.unwrap());
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // The full replay path: read + stream reassembly, as the engine sees it.
+    c.bench_function("trace/replay_streams_64k", |b| {
+        b.iter(|| {
+            let mut replayer =
+                TraceReplayer::new(TraceReader::new(&bytes[..]).unwrap(), "bench");
+            let mut buf = Vec::new();
+            let mut seen = 0u64;
+            while seen + 64 < N {
+                seen += replayer.next_stream(&mut buf).len as u64;
+            }
+            seen
+        })
+    });
+
+    // The sweep-cell replay path: all cells of a benchmark share one
+    // decoded trace; per-cell cost is the slice scan + bulk copy.
+    let decoded = std::sync::Arc::new(
+        TraceReader::new(&bytes[..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>(),
+    );
+    c.bench_function("trace/replay_shared_64k", |b| {
+        b.iter(|| {
+            let mut replayer = prestage_workload::replay_shared(decoded.clone(), "bench");
+            let mut buf = Vec::new();
+            let mut seen = 0u64;
+            while seen + 64 < N {
+                seen += replayer.next_stream(&mut buf).len as u64;
+            }
+            seen
+        })
+    });
+
+    // One-time record cost (generation + encode + CRC).
+    c.bench_function("trace/record_16k_insts", |b| {
+        b.iter(|| {
+            let mut out = Cursor::new(Vec::with_capacity(512 << 10));
+            record_trace(&mut out, &w, 7, 16 * 1024, 4096).unwrap()
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_cacti,
     bench_cache,
     bench_bus,
     bench_predictor,
-    bench_tracegen
+    bench_tracegen,
+    bench_trace_io
 );
 criterion_main!(benches);

@@ -23,7 +23,7 @@ use prestage_bpred::{
 use prestage_cache::{L2Config, L2System, ReqClass};
 use prestage_core::{Delivery, FrontEnd};
 use prestage_isa::{Addr, INST_BYTES};
-use prestage_workload::{DynInst, TraceGenerator, Workload};
+use prestage_workload::{DynInst, InstSource, TraceGenerator, Workload};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -173,10 +173,15 @@ struct DecodeEntry {
 }
 
 /// The full-system simulator for one (workload, configuration) pair.
+///
+/// The committed path arrives through an [`InstSource`]: the live
+/// [`TraceGenerator`] by default, or a disk replay via
+/// [`Engine::with_source`] — the engine cannot tell the difference, which
+/// is what makes replayed sweeps bit-exact.
 pub struct Engine<'w> {
     cfg: SimConfig,
     w: &'w Workload,
-    gen: TraceGenerator<'w>,
+    src: Box<dyn InstSource + 'w>,
     pred: AnyPredictor,
     fe: FrontEnd,
     be: BackEnd,
@@ -209,8 +214,21 @@ impl<'w> Engine<'w> {
         exec_seed: u64,
         predictor: PredictorKind,
     ) -> Self {
+        Self::with_source(cfg, w, Box::new(TraceGenerator::new(w, exec_seed)), predictor)
+    }
+
+    /// Build an engine over an arbitrary committed-path source — the replay
+    /// entry point.  `w` must be the workload the source's instructions
+    /// were generated from (the engine still walks its basic-block
+    /// dictionary for wrong-path fetch and dispatch).
+    pub fn with_source(
+        cfg: SimConfig,
+        w: &'w Workload,
+        src: Box<dyn InstSource + 'w>,
+        predictor: PredictorKind,
+    ) -> Self {
         Engine {
-            gen: TraceGenerator::new(w, exec_seed),
+            src,
             pred: AnyPredictor::new(predictor),
             fe: FrontEnd::new(cfg.frontend),
             be: BackEnd::new(cfg.backend),
@@ -398,7 +416,7 @@ impl<'w> Engine<'w> {
                 let (actual, insts) = match self.pending_truth.pop_front() {
                     Some(x) => x,
                     None => {
-                        let s = self.gen.next_stream(&mut self.buf);
+                        let s = self.src.next_stream(&mut self.buf);
                         (s, self.buf.clone())
                     }
                 };

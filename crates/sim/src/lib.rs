@@ -34,11 +34,12 @@ pub use backend::{BackEnd, BackendConfig, BackendStats};
 pub use config::{ConfigPreset, SimConfig};
 pub use engine::{Engine, PredictorKind};
 pub use runner::{
-    default_threads, pool_map, pool_threads, run_cells, run_cells_full, run_cells_with_threads,
-    run_config_over, run_grid, run_one, CellGrid, CellResult, GridResult, SweepCell,
+    default_threads, live_source, pool_map, pool_threads, run_cells, run_cells_full,
+    run_cells_sourced, run_cells_with_threads, run_config_over, run_grid, run_one, CellGrid,
+    CellResult, GridResult, SweepCell,
 };
 pub use spec::{
     grid_output, run_spec, run_spec_cells, try_run_spec, try_run_spec_over, ExperimentSpec,
-    ShardFile, L1_SIZES,
+    ShardFile, TraceSource, L1_SIZES, TRACE_RECORD_SLACK,
 };
 pub use stats::{harmonic_mean, SimStats};

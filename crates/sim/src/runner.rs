@@ -21,7 +21,7 @@ use crate::config::{ConfigPreset, SimConfig};
 use crate::engine::{Engine, PredictorKind};
 use crate::stats::{harmonic_mean, SimStats};
 use prestage_cacti::TechNode;
-use prestage_workload::{build, BenchmarkProfile, Workload};
+use prestage_workload::{build, BenchmarkProfile, InstSource, TraceGenerator, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -349,7 +349,9 @@ where
 /// The fully-parameterised cell executor: like [`run_cells_with_threads`]
 /// but with an explicit fetch-block predictor — the knob
 /// [`ExperimentSpec`](crate::ExperimentSpec) exposes for the
-/// predictor-quality comparisons of §2.1.
+/// predictor-quality comparisons of §2.1.  Streams come from the live
+/// generator; [`run_cells_sourced`] is the same executor with the source
+/// pluggable (trace replay).
 pub fn run_cells_full<F>(
     cells: &[SweepCell],
     workloads: &[Workload],
@@ -360,6 +362,33 @@ pub fn run_cells_full<F>(
 where
     F: Fn(&SweepCell) -> SimConfig + Sync,
 {
+    run_cells_sourced(cells, workloads, configure, threads, predictor, live_source)
+}
+
+/// The default committed-path source: a fresh live [`TraceGenerator`] per
+/// cell, seeded by the cell's exec seed.
+pub fn live_source<'w>(cell: &SweepCell, w: &'w Workload) -> Box<dyn InstSource + 'w> {
+    Box::new(TraceGenerator::new(w, cell.exec_seed))
+}
+
+/// The most general cell executor: every cell's engine pulls its committed
+/// path from `source(cell, workload)` — the live generator
+/// ([`live_source`]) or a per-cell disk replay (`ExperimentSpec`s with a
+/// `trace` source route here).  Each worker opens its own source, so
+/// replaying cells share a trace *file*, not a materialised `Vec`: memory
+/// stays constant in trace length no matter how many cells replay it.
+pub fn run_cells_sourced<'w, F, S>(
+    cells: &[SweepCell],
+    workloads: &'w [Workload],
+    configure: F,
+    threads: usize,
+    predictor: PredictorKind,
+    source: S,
+) -> Vec<CellResult>
+where
+    F: Fn(&SweepCell) -> SimConfig + Sync,
+    S: Fn(&SweepCell, &'w Workload) -> Box<dyn InstSource + 'w> + Sync,
+{
     for c in cells {
         assert!(
             c.bench_idx < workloads.len(),
@@ -369,14 +398,10 @@ where
     }
     pool_map(cells.len(), threads, |i| {
         let cell = cells[i];
+        let w = &workloads[cell.bench_idx];
         let t0 = std::time::Instant::now();
-        let stats = Engine::with_predictor(
-            configure(&cell),
-            &workloads[cell.bench_idx],
-            cell.exec_seed,
-            predictor,
-        )
-        .run();
+        let stats =
+            Engine::with_source(configure(&cell), w, source(&cell, w), predictor).run();
         CellResult {
             cell,
             stats,

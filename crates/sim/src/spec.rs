@@ -29,12 +29,18 @@
 use crate::config::{ConfigPreset, SimConfig};
 use crate::engine::PredictorKind;
 use crate::runner::{
-    default_threads, run_cells_full, CellGrid, CellResult, GridResult, SweepCell,
+    default_threads, run_cells_full, run_cells_sourced, CellGrid, CellResult, GridResult,
+    SweepCell,
 };
 use crate::stats::SimStats;
 use prestage_cacti::TechNode;
 use prestage_json::Json;
-use prestage_workload::{build, specint2000, BenchmarkProfile, Workload};
+use prestage_workload::{
+    build, replay_file_trusted, replay_shared, specint2000, BenchmarkProfile, DynInst,
+    Workload,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The paper's L1 I-cache sweep axis: 256 B … 64 KB.
@@ -50,8 +56,61 @@ pub const L1_SIZES: [usize; 9] = [
     64 << 10,
 ];
 
-/// Schema version of every JSON artifact this module writes.
-pub const SPEC_SCHEMA: u64 = 1;
+/// Schema version of every JSON artifact this module writes.  Schema 2
+/// added the `trace` field; schema-1 spec files (which predate it) still
+/// parse, with `trace` defaulting to live generation.
+pub const SPEC_SCHEMA: u64 = 2;
+
+/// Run-ahead slack `prestage trace record` captures beyond
+/// `warmup + measure`: the decoupled front-end pulls streams ahead of
+/// commit (fetch queue + decode buffer + RUU, at most a few thousand
+/// instructions), so recordings carry a generous margin.  A replay that
+/// still runs dry panics rather than returning results from a partial
+/// trace.
+pub const TRACE_RECORD_SLACK: u64 = 16_384;
+
+/// Budget for holding *decoded* traces in memory during a replayed sweep.
+/// Traces are verified once per process either way; within the budget the
+/// verification pass also materialises the records, so every cell of a
+/// benchmark replays one shared in-memory decode (no per-cell I/O, decode
+/// or hashing).  Beyond it, cells fall back to streaming the file at
+/// constant memory — bit-exact either way, just slower per cell.
+pub const TRACE_INMEM_BUDGET_BYTES: u64 = 512 << 20;
+
+/// One benchmark's vetted replay source.
+#[derive(Debug, Clone)]
+enum ReplaySource {
+    /// Decoded during verification; cells replay the shared `Arc`.
+    InMemory(Arc<Vec<DynInst>>, PathBuf),
+    /// Over the in-memory budget: cells stream the file (trusted — the
+    /// verification pass already proved these exact bytes clean).
+    Streamed(PathBuf),
+}
+
+
+/// Where a spec's pre-recorded traces live: a directory holding one v2
+/// trace per benchmark, named by [`TraceSource::file_name`].  Execution
+/// detail, not experiment identity — [`grid_output`] clears it (like
+/// `threads`), so a replayed run's artifacts are byte-identical to the
+/// live-generation run it mirrors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSource {
+    /// Directory of recorded traces (relative paths resolve against the
+    /// process's working directory, like every other CLI path).
+    pub dir: String,
+}
+
+impl TraceSource {
+    /// Canonical file name for one recorded `(profile, seeds)` trace.
+    pub fn file_name(profile: &str, workload_seed: u64, exec_seed: u64) -> String {
+        format!("{profile}-w{workload_seed}-x{exec_seed}.pstr")
+    }
+
+    /// Full path of the trace for `(profile, seeds)` under this source.
+    pub fn trace_path(&self, profile: &str, workload_seed: u64, exec_seed: u64) -> PathBuf {
+        Path::new(&self.dir).join(Self::file_name(profile, workload_seed, exec_seed))
+    }
+}
 
 /// A complete, serializable description of one experiment.
 ///
@@ -84,6 +143,10 @@ pub struct ExperimentSpec {
     pub threads: Option<usize>,
     /// Fetch-block predictor driving the decoupled front-end.
     pub predictor: PredictorKind,
+    /// Committed-path source: `None` generates every cell's trace live;
+    /// `Some` replays pre-recorded traces from disk (one per benchmark,
+    /// shared by all cells that need it — record once, replay everywhere).
+    pub trace: Option<TraceSource>,
 }
 
 impl Default for ExperimentSpec {
@@ -101,6 +164,7 @@ impl Default for ExperimentSpec {
             exec_seed: 42,
             threads: None,
             predictor: PredictorKind::Stream,
+            trace: None,
         }
     }
 }
@@ -220,7 +284,166 @@ impl ExperimentSpec {
         if self.threads == Some(0) {
             return Err("threads must be at least 1 (or null for auto)".into());
         }
+        if let Some(t) = &self.trace {
+            if t.dir.trim().is_empty() {
+                return Err("trace dir is empty (use null for live generation)".into());
+            }
+        }
         self.bench_profiles().map(|_| ())
+    }
+
+    /// Instructions `prestage trace record` captures per benchmark for
+    /// this spec: the run length plus [`TRACE_RECORD_SLACK`] of front-end
+    /// run-ahead.
+    pub fn trace_record_insts(&self) -> u64 {
+        self.warmup_insts
+            .saturating_add(self.measure_insts)
+            .saturating_add(TRACE_RECORD_SLACK)
+    }
+
+    /// The per-benchmark trace files this spec replays (spec bench order),
+    /// or `None` for live generation.  Pure path arithmetic, no I/O.
+    pub fn trace_paths(&self) -> Result<Option<Vec<PathBuf>>, String> {
+        let Some(src) = &self.trace else {
+            return Ok(None);
+        };
+        Ok(Some(
+            self.bench_names()?
+                .iter()
+                .map(|n| src.trace_path(n, self.workload_seed, self.exec_seed))
+                .collect(),
+        ))
+    }
+
+    /// Open `path` and check its header against this spec: v2 identity
+    /// (profile, both seeds) and at least `warmup + measure` instructions.
+    /// Errors name the file and the mismatching field — replaying the
+    /// wrong trace must be impossible, not merely unlikely.
+    fn vet_trace(
+        &self,
+        path: &Path,
+        name: &str,
+    ) -> Result<prestage_workload::TraceReader<std::io::BufReader<std::fs::File>>, String> {
+        let reader = prestage_workload::open_trace(path).map_err(|e| {
+            format!("{e} — record it first: `prestage trace record <spec> --out <dir>`")
+        })?;
+        let h = reader.header();
+        let Some(meta) = &h.meta else {
+            return Err(format!(
+                "trace {} is v1 and carries no identity; spec replay needs a v2 \
+                 trace — re-record it",
+                path.display()
+            ));
+        };
+        if meta.profile != name {
+            return Err(format!(
+                "trace {} was recorded from benchmark {:?}, spec expects {name:?}",
+                path.display(),
+                meta.profile
+            ));
+        }
+        if meta.workload_seed != self.workload_seed {
+            return Err(format!(
+                "trace {} was recorded with workload seed {}, spec uses {}",
+                path.display(),
+                meta.workload_seed,
+                self.workload_seed
+            ));
+        }
+        if meta.exec_seed != self.exec_seed {
+            return Err(format!(
+                "trace {} was recorded with exec seed {}, spec uses {}",
+                path.display(),
+                meta.exec_seed,
+                self.exec_seed
+            ));
+        }
+        let needed = self.warmup_insts + self.measure_insts;
+        if h.count < needed {
+            return Err(format!(
+                "trace {} holds {} instructions but the spec runs {needed} \
+                 (warmup {} + measure {}) — re-record with the current run lengths",
+                path.display(),
+                h.count,
+                self.warmup_insts,
+                self.measure_insts
+            ));
+        }
+        Ok(reader)
+    }
+
+    /// Resolve and *vet* the replay traces for every benchmark: identity
+    /// and length against this spec, then one streaming pass over each
+    /// file (every chunk CRC, every record) at constant memory.
+    pub fn resolve_traces(&self) -> Result<Option<Vec<PathBuf>>, String> {
+        let Some(paths) = self.trace_paths()? else {
+            return Ok(None);
+        };
+        for (path, name) in paths.iter().zip(self.bench_names()?) {
+            let mut reader = self.vet_trace(path, name)?;
+            if let Some(e) = reader.by_ref().find_map(|r| r.err()) {
+                return Err(format!("trace {} is corrupt: {e}", path.display()));
+            }
+        }
+        Ok(Some(paths))
+    }
+
+    /// The vet-and-load pass behind the spec runners: verify and load only
+    /// the benchmarks `cells` actually references (a shard of a 12-bench
+    /// spec must not pay for — or spend in-memory budget on — the other
+    /// eleven traces), returning one slot per spec benchmark (`None` for
+    /// the unreferenced ones).
+    ///
+    /// Verification happens here, *once per process*; the sweep cells then
+    /// replay a shared in-memory decode (within
+    /// [`TRACE_INMEM_BUDGET_BYTES`]) or a trusted re-stream of the proven
+    /// bytes, never re-verifying per cell.
+    fn replay_sources(
+        &self,
+        cells: &[SweepCell],
+    ) -> Result<Option<Vec<Option<ReplaySource>>>, String> {
+        let Some(paths) = self.trace_paths()? else {
+            return Ok(None);
+        };
+        let mut used = vec![false; paths.len()];
+        for c in cells {
+            if let Some(u) = used.get_mut(c.bench_idx) {
+                *u = true;
+            }
+        }
+        let mut budget = TRACE_INMEM_BUDGET_BYTES;
+        let mut sources = Vec::with_capacity(paths.len());
+        for ((path, name), used) in paths.into_iter().zip(self.bench_names()?).zip(used) {
+            if !used {
+                sources.push(None);
+                continue;
+            }
+            let mut reader = self.vet_trace(&path, name)?;
+            // One full pass: CRCs, record structure, count — and, within
+            // the memory budget, the decode every cell will share.
+            let declared = reader.header().count;
+            let decoded_bytes = declared.saturating_mul(std::mem::size_of::<DynInst>() as u64);
+            let corrupt =
+                |e: std::io::Error| format!("trace {} is corrupt: {e}", path.display());
+            if decoded_bytes <= budget {
+                // The declared count routes between in-memory and
+                // streaming, but is never trusted for allocation (a CRC is
+                // not a MAC): capacity is clamped and the vector grows
+                // only as records actually decode.
+                let mut records = Vec::with_capacity(declared.min(1 << 16) as usize);
+                for r in reader.by_ref() {
+                    records.push(r.map_err(corrupt)?);
+                }
+                budget -= decoded_bytes;
+                sources.push(Some(ReplaySource::InMemory(Arc::new(records), path)));
+            } else {
+                if let Some(e) = reader.by_ref().find_map(|r| r.err()) {
+                    return Err(corrupt(e));
+                }
+                sources.push(Some(ReplaySource::Streamed(path)));
+            }
+        }
+        Ok(Some(sources))
     }
 
     /// Resolve the benchmark filter to profiles, in *filter order* (or the
@@ -302,6 +525,7 @@ impl ExperimentSpec {
             exec_seed,
             threads,
             predictor,
+            trace,
         } = self;
         Json::obj([
             ("schema", SPEC_SCHEMA.into()),
@@ -329,6 +553,13 @@ impl ExperimentSpec {
             ("exec_seed", (*exec_seed).into()),
             ("threads", (*threads).into()),
             ("predictor", predictor.id().into()),
+            (
+                "trace",
+                match trace {
+                    None => Json::Null,
+                    Some(t) => Json::obj([("dir", t.dir.as_str().into())]),
+                },
+            ),
         ])
     }
 
@@ -344,7 +575,7 @@ impl ExperimentSpec {
         let keys = v
             .keys()
             .ok_or_else(|| "spec must be a JSON object".to_string())?;
-        const KNOWN: [&str; 11] = [
+        const KNOWN: [&str; 12] = [
             "schema",
             "presets",
             "tech",
@@ -356,28 +587,33 @@ impl ExperimentSpec {
             "exec_seed",
             "threads",
             "predictor",
+            "trace",
         ];
-        for k in &keys {
-            if !KNOWN.contains(k) {
-                return Err(format!(
-                    "unknown spec field {k:?} (valid fields: {})",
-                    KNOWN.join(", ")
-                ));
-            }
-        }
-        for k in KNOWN {
-            if !keys.contains(&k) {
-                return Err(format!("spec is missing field {k:?}"));
-            }
-        }
         let schema = v
             .get("schema")
             .and_then(Json::as_u64)
             .ok_or("schema must be an integer")?;
-        if schema != SPEC_SCHEMA {
+        if schema == 0 || schema > SPEC_SCHEMA {
             return Err(format!(
-                "spec schema {schema} not supported (this build reads schema {SPEC_SCHEMA})"
+                "spec schema {schema} not supported (this build reads schemas 1..={SPEC_SCHEMA})"
             ));
+        }
+        // `trace` arrived with schema 2; a schema-1 file both may and must
+        // omit it (strictness per schema: no field is ever silently
+        // ignored, none is silently defaulted within its own schema).
+        let known: &[&str] = if schema == 1 { &KNOWN[..11] } else { &KNOWN };
+        for k in &keys {
+            if !known.contains(k) {
+                return Err(format!(
+                    "unknown spec field {k:?} (valid fields for schema {schema}: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        for k in known {
+            if !keys.contains(k) {
+                return Err(format!("spec is missing field {k:?}"));
+            }
         }
         let presets = v
             .get("presets")
@@ -444,6 +680,26 @@ impl ExperimentSpec {
             .ok_or("predictor must be a string")?;
         let predictor = PredictorKind::from_id(pred_id)
             .ok_or_else(|| format!("unknown predictor {pred_id:?} (stream or gshare)"))?;
+        let trace = match v.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(t) => {
+                let tkeys = t
+                    .keys()
+                    .ok_or("trace must be null or an object {\"dir\": ...}")?;
+                for k in &tkeys {
+                    if *k != "dir" {
+                        return Err(format!("unknown trace field {k:?} (only \"dir\")"));
+                    }
+                }
+                let dir = t
+                    .get("dir")
+                    .and_then(Json::as_str)
+                    .ok_or("trace.dir must be a string")?;
+                Some(TraceSource {
+                    dir: dir.to_string(),
+                })
+            }
+        };
         Ok(ExperimentSpec {
             presets,
             tech,
@@ -455,6 +711,7 @@ impl ExperimentSpec {
             exec_seed: u64_field("exec_seed")?,
             threads,
             predictor,
+            trace,
         })
     }
 
@@ -484,22 +741,77 @@ impl CellGrid {
 // Running a spec.
 // ---------------------------------------------------------------------------
 
+/// Evaluate spec cells over pre-built workloads, routing each cell's
+/// committed path to the spec's source: live generation, or (when
+/// `traces` is `Some`) a per-cell streaming replay of the benchmark's
+/// recorded trace.  All cells of one benchmark share one trace *file* —
+/// each worker streams it independently at constant memory.
+fn run_spec_cells_over(
+    spec: &ExperimentSpec,
+    cells: &[SweepCell],
+    workloads: &[Workload],
+    traces: Option<&[Option<ReplaySource>]>,
+) -> Vec<CellResult> {
+    let configure = |c: &SweepCell| spec.sim_config(c.preset, c.l1);
+    match traces {
+        None => run_cells_full(
+            cells,
+            workloads,
+            configure,
+            spec.resolved_threads(),
+            spec.predictor,
+        ),
+        Some(sources) => {
+            let spec_seed = spec.exec_seed;
+            run_cells_sourced(
+                cells,
+                workloads,
+                configure,
+                spec.resolved_threads(),
+                spec.predictor,
+                move |c, _w| {
+                    // The recorded traces embody one execution seed; a
+                    // foreign-seed cell would silently replay the wrong
+                    // dynamic path (live_source honours c.exec_seed).
+                    assert_eq!(
+                        c.exec_seed, spec_seed,
+                        "cell {c:?} wants exec seed {}, but the spec's traces were \
+                         recorded at {spec_seed} — replay cannot serve foreign-seed cells",
+                        c.exec_seed
+                    );
+                    match sources[c.bench_idx]
+                        .as_ref()
+                        .expect("replay source loaded for every bench the cells reference")
+                    {
+                        ReplaySource::InMemory(records, path) => Box::new(replay_shared(
+                            records.clone(),
+                            path.display().to_string(),
+                        )),
+                        // Trusted: replay_sources streamed these exact
+                        // bytes clean before the pool started.
+                        ReplaySource::Streamed(path) => Box::new(
+                            replay_file_trusted(path).unwrap_or_else(|e| {
+                                panic!("cannot replay {}: {e}", path.display())
+                            }),
+                        ),
+                    }
+                },
+            )
+        }
+    }
+}
+
 /// Evaluate an arbitrary slice of a spec's cells (a whole grid or one
 /// shard) on the work-stealing pool, honouring the spec's run lengths,
-/// seeds, pool width and predictor.
+/// seeds, pool width, predictor and trace source.
 pub fn run_spec_cells(
     spec: &ExperimentSpec,
     cells: &[SweepCell],
 ) -> Result<Vec<CellResult>, String> {
     spec.validate()?;
     let workloads = spec.build_workloads()?;
-    Ok(run_cells_full(
-        cells,
-        &workloads,
-        |c| spec.sim_config(c.preset, c.l1),
-        spec.resolved_threads(),
-        spec.predictor,
-    ))
+    let traces = spec.replay_sources(cells)?;
+    Ok(run_spec_cells_over(spec, cells, &workloads, traces.as_deref()))
 }
 
 /// Run the whole experiment in-process: ordered `[preset][size]` rows with
@@ -531,13 +843,9 @@ pub fn try_run_spec_over(
             names.join(", ")
         ));
     }
-    let results = run_cells_full(
-        &grid.cells(),
-        workloads,
-        |c| spec.sim_config(c.preset, c.l1),
-        spec.resolved_threads(),
-        spec.predictor,
-    );
+    let cells = grid.cells();
+    let traces = spec.replay_sources(&cells)?;
+    let results = run_spec_cells_over(spec, &cells, workloads, traces.as_deref());
     Ok(grid.merge_named(results, &names))
 }
 
@@ -904,12 +1212,14 @@ impl ShardFile {
 /// multi-process run and a single-process [`run_spec`] of the same spec
 /// produce identical output — the property the shard/merge CI job diffs.
 ///
-/// The embedded spec has `threads` cleared: the pool width is host-local
-/// and never affects results, so two runs that only disagreed on it must
-/// still produce identical bytes.
+/// The embedded spec has `threads` and `trace` cleared: pool width is
+/// host-local and the committed-path source (live vs replay) is bit-exact
+/// by construction, so runs that only disagreed on either must still
+/// produce identical bytes — the property the replay CI job diffs.
 pub fn grid_output(spec: &ExperimentSpec, rows: &[Vec<GridResult>]) -> String {
     let spec = &ExperimentSpec {
         threads: None,
+        trace: None,
         ..spec.clone()
     };
     let mut out_rows = Vec::new();
@@ -962,6 +1272,7 @@ mod tests {
             exec_seed: 3,
             threads: Some(2),
             predictor: PredictorKind::Stream,
+            trace: None,
         }
     }
 
@@ -976,7 +1287,13 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_every_field() {
-        for spec in [ExperimentSpec::default(), tiny_spec()] {
+        let replaying = ExperimentSpec {
+            trace: Some(TraceSource {
+                dir: "traces/smoke".into(),
+            }),
+            ..tiny_spec()
+        };
+        for spec in [ExperimentSpec::default(), tiny_spec(), replaying] {
             let text = spec.to_json();
             let back = ExperimentSpec::from_json(&text).unwrap();
             assert_eq!(back, spec);
@@ -1022,13 +1339,198 @@ mod tests {
         let e = ExperimentSpec::from_json(&good.replace("warmup_insts", "warmupinsts"))
             .unwrap_err();
         assert!(e.contains("unknown spec field"), "{e}");
-        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 1", "\"schema\": 99"))
+        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 2", "\"schema\": 99"))
             .unwrap_err();
         assert!(e.contains("schema 99"), "{e}");
         let e = ExperimentSpec::from_json(&good.replace("\"clgp+l0\"", "\"clgp+l9\""))
             .unwrap_err();
         assert!(e.contains("unknown preset"), "{e}");
         assert!(ExperimentSpec::from_json("[]").is_err());
+        // Malformed trace blocks are loud.
+        let e = ExperimentSpec::from_json(
+            &good.replace("\"trace\": null", "\"trace\": {\"dri\": \"x\"}"),
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown trace field"), "{e}");
+        let e = ExperimentSpec::from_json(&good.replace("\"trace\": null", "\"trace\": 7"))
+            .unwrap_err();
+        assert!(e.contains("trace must be null or an object"), "{e}");
+    }
+
+    #[test]
+    fn schema_1_specs_still_parse_with_live_generation() {
+        // A pre-trace spec file (schema 1, no trace field) keeps working...
+        let mut old = tiny_spec().to_json().replace("\"schema\": 2", "\"schema\": 1");
+        let cut = old.find(",\n  \"trace\": null").unwrap();
+        old.replace_range(cut..cut + ",\n  \"trace\": null".len(), "");
+        let spec = ExperimentSpec::from_json(&old).unwrap();
+        assert_eq!(spec.trace, None);
+        assert_eq!(spec, tiny_spec());
+        // ...but a schema-1 file *claiming* a trace field is a field from
+        // the future, rejected rather than half-understood.
+        let e = ExperimentSpec::from_json(
+            &tiny_spec().to_json().replace("\"schema\": 2", "\"schema\": 1"),
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown spec field \"trace\""), "{e}");
+    }
+
+    #[test]
+    fn replay_specs_vet_their_traces_before_running() {
+        // Missing directory/file: the error points at the record command.
+        let spec = ExperimentSpec {
+            trace: Some(TraceSource {
+                dir: "/nonexistent/trace/dir".into(),
+            }),
+            ..tiny_spec()
+        };
+        let e = run_spec_cells(&spec, &CellGrid::from_spec(&spec).unwrap().cells())
+            .unwrap_err();
+        assert!(e.contains("prestage trace record"), "{e}");
+
+        // A trace recorded under different seeds is refused by name.
+        let dir = std::env::temp_dir().join(format!("prestage_vet_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = ExperimentSpec {
+            trace: Some(TraceSource {
+                dir: dir.to_string_lossy().into_owned(),
+            }),
+            ..tiny_spec()
+        };
+        let w = spec.build_workloads().unwrap().remove(0);
+        let path = spec.trace_paths().unwrap().unwrap().remove(0);
+        let f = std::fs::File::create(&path).unwrap();
+        // Recorded with the wrong exec seed (spec uses 3).
+        prestage_workload::record_trace(
+            std::io::BufWriter::new(f),
+            &w,
+            99,
+            spec.trace_record_insts(),
+            1024,
+        )
+        .unwrap();
+        let e = spec.resolve_traces().unwrap_err();
+        assert!(e.contains("exec seed 99"), "{e}");
+        // Too-short traces are refused with both lengths.
+        let f = std::fs::File::create(&path).unwrap();
+        prestage_workload::record_trace(std::io::BufWriter::new(f), &w, 3, 100, 1024).unwrap();
+        let e = spec.resolve_traces().unwrap_err();
+        assert!(e.contains("holds 100 instructions"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_shards_only_vet_the_benchmarks_they_run() {
+        // A two-bench replay spec with only the first bench's trace
+        // recorded: cells touching just that bench must run; the full
+        // grid (and the vet-everything entry point) must refuse.
+        let dir = std::env::temp_dir().join(format!("prestage_scope_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = ExperimentSpec {
+            bench: Some(vec!["gzip".into(), "mcf".into()]),
+            trace: Some(TraceSource {
+                dir: dir.to_string_lossy().into_owned(),
+            }),
+            ..tiny_spec()
+        };
+        let w = spec.build_workloads().unwrap().remove(0);
+        let path = spec.trace_paths().unwrap().unwrap().remove(0);
+        let f = std::fs::File::create(&path).unwrap();
+        prestage_workload::record_trace(
+            std::io::BufWriter::new(f),
+            &w,
+            spec.exec_seed,
+            spec.trace_record_insts(),
+            2048,
+        )
+        .unwrap();
+        let grid = CellGrid::from_spec(&spec).unwrap();
+        let gzip_cells: Vec<SweepCell> = grid
+            .cells()
+            .into_iter()
+            .filter(|c| c.bench_idx == 0)
+            .collect();
+        let results = run_spec_cells(&spec, &gzip_cells).unwrap();
+        assert_eq!(results.len(), gzip_cells.len());
+        let e = run_spec_cells(&spec, &grid.cells()).unwrap_err();
+        assert!(e.contains("mcf"), "{e}");
+        assert!(spec.resolve_traces().unwrap_err().contains("mcf"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay cannot serve foreign-seed cells")]
+    fn replay_refuses_cells_with_a_foreign_exec_seed() {
+        let dir = std::env::temp_dir().join(format!("prestage_fseed_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = ExperimentSpec {
+            trace: Some(TraceSource {
+                dir: dir.to_string_lossy().into_owned(),
+            }),
+            ..tiny_spec()
+        };
+        let w = spec.build_workloads().unwrap().remove(0);
+        let path = spec.trace_paths().unwrap().unwrap().remove(0);
+        let f = std::fs::File::create(&path).unwrap();
+        prestage_workload::record_trace(
+            std::io::BufWriter::new(f),
+            &w,
+            spec.exec_seed,
+            spec.trace_record_insts(),
+            2048,
+        )
+        .unwrap();
+        // A cell demanding a different execution seed than the recording:
+        // live generation would honour it, so replay must refuse instead
+        // of silently serving the spec-seed trace.
+        let mut cell = CellGrid::from_spec(&spec).unwrap().cell_at(0);
+        cell.exec_seed = spec.exec_seed + 1;
+        let _ = run_spec_cells(&spec, &[cell]);
+    }
+
+    #[test]
+    fn replay_run_is_bit_exact_and_byte_identical_to_live() {
+        let dir = std::env::temp_dir().join(format!("prestage_replay_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let live = tiny_spec();
+        let replay = ExperimentSpec {
+            trace: Some(TraceSource {
+                dir: dir.to_string_lossy().into_owned(),
+            }),
+            ..live.clone()
+        };
+        for (w, path) in live
+            .build_workloads()
+            .unwrap()
+            .iter()
+            .zip(replay.trace_paths().unwrap().unwrap())
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            prestage_workload::record_trace(
+                std::io::BufWriter::new(f),
+                w,
+                live.exec_seed,
+                live.trace_record_insts(),
+                1024,
+            )
+            .unwrap();
+        }
+        let live_rows = try_run_spec(&live).unwrap();
+        let replay_rows = try_run_spec(&replay).unwrap();
+        // Every counter of every cell identical, and the rendered grid
+        // artifact byte-identical (grid_output clears the trace source).
+        for (lr, rr) in live_rows.iter().flatten().zip(replay_rows.iter().flatten()) {
+            assert_eq!(lr.per_bench, rr.per_bench);
+        }
+        assert_eq!(
+            grid_output(&live, &live_rows),
+            grid_output(&replay, &replay_rows)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

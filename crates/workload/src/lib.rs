@@ -35,17 +35,30 @@
 //!   yielding instruction streams.
 //! * [`bbv`] — basic-block-vector profiling and a small k-means SimPoint
 //!   (the paper's \[18\]) for representative-slice selection.
-//! * [`trace_io`] — compact binary save/load of generated streams.
+//! * [`trace_io`] — versioned binary trace save/load: the chunked,
+//!   CRC-checked v2 format with streaming [`TraceWriter`]/[`TraceReader`]
+//!   (v1 stays readable).
+//! * [`replay`] — [`InstSource`], the engine's stream abstraction, served
+//!   live by [`TraceGenerator`] or from disk by [`TraceReplayer`].
 
 pub mod bbv;
 pub mod codegen;
 pub mod exec;
 pub mod profile;
+pub mod replay;
 pub mod trace_io;
 
 pub use codegen::{build, BranchModel, MemModel, Workload};
 pub use exec::{DynInst, TraceGenerator};
-pub use profile::{specint2000, BenchmarkProfile};
+pub use profile::{by_name, specint2000, BenchmarkProfile};
+pub use replay::{
+    replay_file, replay_file_trusted, replay_shared, FileReplayer, InstSource, SharedReplayer,
+    TraceReplayer,
+};
+pub use trace_io::{
+    open_trace, read_trace, record_trace, write_trace, TraceHeader, TraceMeta, TraceReader,
+    TraceWriter, DEFAULT_CHUNK_INSTS,
+};
 
 /// Miniaturized SPECint2000 workloads — the first `n` profiles with code
 /// footprints clamped small — for tests and examples that need whole sweep

@@ -10,9 +10,19 @@
 //! prestage run   <spec.json | figure> [--out <file>]
 //! prestage shard --spec <spec.json | figure> --cells A..B --out <file>
 //! prestage merge <shard.json>... [--out <file>]
+//! prestage trace record <spec.json | figure> --out <dir>
+//! prestage trace info   <trace.pstr>
 //! prestage spec  <figure> [--out <file>]
 //! prestage list
 //! ```
+//!
+//! `trace record` captures one v2 trace per benchmark of a spec (run
+//! length + run-ahead slack); a spec whose `trace` field names that
+//! directory then *replays* the recordings instead of regenerating the
+//! dynamic path in every cell — in `run` and in every `shard` process
+//! alike.  Replay is bit-exact, so `run --out` artifacts are byte-identical
+//! either way (the trace source, like the pool width, is cleared from the
+//! embedded spec).
 //!
 //! A *figure* argument (`fig1`, `fig5b`, ...) resolves to the declared
 //! spec from `prestage_bench::figures` with the `PRESTAGE_*` environment
@@ -26,9 +36,11 @@
 
 use prestage_bench::figures::{self, Figure};
 use prestage_bench::report;
-use prestage_sim::spec::{grid_output, run_spec_cells, ShardFile};
-use prestage_sim::{try_run_spec, CellGrid, ConfigPreset, ExperimentSpec, GridResult};
-use prestage_workload::specint2000;
+use prestage_sim::spec::{grid_output, run_spec_cells, ShardFile, TraceSource};
+use prestage_sim::{pool_map, try_run_spec, CellGrid, ConfigPreset, ExperimentSpec, GridResult};
+use prestage_workload::{build, open_trace, record_trace, specint2000, DEFAULT_CHUNK_INSTS};
+use std::io::BufWriter;
+use std::path::Path;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -37,10 +49,14 @@ fn usage() -> ! {
          prestage run   <spec.json | figure> [--out <file>]\n  \
          prestage shard --spec <spec.json | figure> --cells A..B --out <file>\n  \
          prestage merge <shard.json>... [--out <file>]\n  \
+         prestage trace record <spec.json | figure> --out <dir>\n  \
+         prestage trace info   <trace.pstr>\n  \
          prestage spec  <figure> [--out <file>]\n  \
          prestage list\n\n\
          A figure name (see `prestage list`) runs its declared spec with the\n\
-         PRESTAGE_* environment overrides applied; a spec file runs verbatim."
+         PRESTAGE_* environment overrides applied; a spec file runs verbatim.\n\
+         A spec whose \"trace\" field is {{\"dir\": \"<dir>\"}} replays traces\n\
+         previously captured by `trace record` instead of generating live."
     );
     exit(2);
 }
@@ -155,10 +171,11 @@ fn cmd_shard(mut args: Vec<String>) {
     write_out(&out, &shard.to_json());
 }
 
-/// Spec with the host-local pool width cleared: two shards that only
-/// disagree on `threads` still describe the same experiment.
+/// Spec with the host-local execution details cleared: two shards that
+/// only disagree on `threads` or on the committed-path source (replay is
+/// bit-exact to live generation) still describe the same experiment.
 fn portable(spec: &ExperimentSpec) -> ExperimentSpec {
-    ExperimentSpec { threads: None, ..spec.clone() }
+    ExperimentSpec { threads: None, trace: None, ..spec.clone() }
 }
 
 fn cmd_merge(mut args: Vec<String>) {
@@ -192,6 +209,95 @@ fn cmd_merge(mut args: Vec<String>) {
     report::sweep_table("merged shards", &spec, &rows);
     if let Some(path) = out {
         write_out(&path, &grid_output(&spec, &rows));
+    }
+}
+
+/// Capture one v2 trace per benchmark of a spec into `--out <dir>`: the
+/// record half of record-once/replay-everywhere.  Recording length is the
+/// spec's run length plus run-ahead slack
+/// ([`prestage_sim::TRACE_RECORD_SLACK`]), so any run of the same spec —
+/// whole or sharded — replays without running dry.
+fn cmd_trace_record(mut args: Vec<String>) {
+    let out = take_flag(&mut args, "--out").unwrap_or_else(|| usage());
+    let [arg] = args.as_slice() else { usage() };
+    let (spec, _) = load_spec(arg);
+    let profiles = spec.bench_profiles().unwrap_or_else(|e| fail(&e));
+    std::fs::create_dir_all(&out)
+        .unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+    let n_insts = spec.trace_record_insts();
+    let t0 = std::time::Instant::now();
+    let written = pool_map(profiles.len(), spec.resolved_threads(), |i| {
+        let p = &profiles[i];
+        let w = build(p, spec.workload_seed);
+        let path = TraceSource { dir: out.clone() }.trace_path(
+            p.name,
+            spec.workload_seed,
+            spec.exec_seed,
+        );
+        let f = std::fs::File::create(&path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let count = record_trace(BufWriter::new(f), &w, spec.exec_seed, n_insts, DEFAULT_CHUNK_INSTS)
+            .map_err(|e| format!("recording {}: {e}", path.display()))?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        Ok::<_, String>((path, count, bytes))
+    });
+    for r in &written {
+        match r {
+            Ok((path, count, bytes)) => {
+                eprintln!("  wrote {} ({count} insts, {bytes} bytes)", path.display())
+            }
+            Err(e) => fail(e),
+        }
+    }
+    eprintln!(
+        "recorded {} trace(s) in {:.2}s; replay them by setting \
+         \"trace\": {{\"dir\": {out:?}}} in the spec",
+        written.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+/// Print a trace's self-describing header and verify every chunk CRC by
+/// streaming the whole file — the first thing to run on a trace that
+/// behaves strangely.
+fn cmd_trace_info(args: Vec<String>) {
+    let [path] = args.as_slice() else { usage() };
+    let mut reader =
+        open_trace(Path::new(path)).unwrap_or_else(|e| fail(&e.to_string()));
+    let h = reader.header().clone();
+    println!("{path}: PSTR v{}", h.version);
+    match &h.meta {
+        Some(m) => {
+            println!("  profile:       {}", m.profile);
+            println!("  workload_seed: {}", m.workload_seed);
+            println!("  exec_seed:     {}", m.exec_seed);
+            println!("  chunk size:    {} records", h.chunk_insts);
+        }
+        None => println!("  (v1: no embedded identity, no CRCs)"),
+    }
+    println!("  instructions:  {}", h.count);
+    let mut records = 0u64;
+    for rec in reader.by_ref() {
+        match rec {
+            Ok(_) => records += 1,
+            Err(e) => fail(&format!("{path}: record {records}: {e}")),
+        }
+    }
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "  verified:      {records} records in {} chunk(s), {bytes} bytes",
+        reader.chunks_read()
+    );
+}
+
+fn cmd_trace(mut args: Vec<String>) {
+    if args.is_empty() {
+        usage();
+    }
+    match args.remove(0).as_str() {
+        "record" => cmd_trace_record(args),
+        "info" => cmd_trace_info(args),
+        _ => usage(),
     }
 }
 
@@ -246,6 +352,7 @@ fn main() {
         "run" => cmd_run(args),
         "shard" => cmd_shard(args),
         "merge" => cmd_merge(args),
+        "trace" => cmd_trace(args),
         "spec" => cmd_spec(args),
         "list" => cmd_list(),
         _ => usage(),

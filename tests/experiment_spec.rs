@@ -6,7 +6,7 @@
 use prestage_bench::figures;
 use prestage_cacti::TechNode;
 use prestage_sim::{
-    try_run_spec, ConfigPreset, Engine, ExperimentSpec, PredictorKind, L1_SIZES,
+    try_run_spec, ConfigPreset, Engine, ExperimentSpec, PredictorKind, TraceSource, L1_SIZES,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -69,6 +69,16 @@ fn random_spec(seed: u64) -> ExperimentSpec {
             PredictorKind::Stream
         } else {
             PredictorKind::Gshare
+        },
+        trace: if rng.gen_bool(0.6) {
+            None
+        } else {
+            // Paths with spaces, dots and unicode must all survive the
+            // JSON escape round-trip.
+            let dirs = ["traces", "a b/c", "../rel", "трассы", "t\"q"];
+            Some(TraceSource {
+                dir: dirs[rng.gen_range(0..dirs.len())].to_string(),
+            })
         },
     }
 }

@@ -21,7 +21,7 @@
 use prestage_bench::perf::{diff, parse_medians_tsv, CellPerf, PerfReport};
 use prestage_bench::{results_dir, size_label};
 use prestage_cacti::TechNode;
-use prestage_sim::{run_spec_cells, CellGrid, ConfigPreset, ExperimentSpec};
+use prestage_sim::{run_spec_cells, CellGrid, ConfigPreset, ExperimentSpec, PrefetcherKind};
 use std::io::Write;
 
 /// True median: mean of the two middle elements for even counts (the CI
@@ -74,10 +74,10 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let results = run_spec_cells(&spec, &grid.cells()).expect("validated above");
-    let total_wall_s = t0.elapsed().as_secs_f64();
 
-    // Per-row medians, grouped by the cells' own identity rather than any
-    // assumption about result order.
+    // Per-row medians (plus min/max — the noise-characterization data the
+    // ROADMAP's warning→failure escalation needs), grouped by the cells'
+    // own identity rather than any assumption about result order.
     let cell_walls: Vec<(prestage_sim::SweepCell, f64)> = results
         .iter()
         .map(|r| (r.cell, r.wall.as_secs_f64()))
@@ -98,9 +98,43 @@ fn main() {
                 l1,
                 hmean_ipc: merged[pi][si].hmean_ipc(),
                 median_cell_wall_s: median(&walls),
+                min_cell_wall_s: walls[0],
+                max_cell_wall_s: walls[walls.len() - 1],
             });
         }
     }
+
+    // Mechanism rows: the pluggable prefetcher kinds (spec `prefetcher`
+    // ids) ride the same artifact, so their HMEAN IPC and cell wall-clock
+    // flow into the run-over-run diff like any preset row.
+    let mut total_cells = grid.n_cells();
+    let mech_l1 = 4 << 10;
+    for kind in [PrefetcherKind::Mana, PrefetcherKind::ProgMap] {
+        let mspec = ExperimentSpec {
+            presets: vec![ConfigPreset::Fdp],
+            l1_sizes: vec![mech_l1],
+            prefetcher: Some(kind),
+            ..spec.clone()
+        };
+        let mgrid = CellGrid::from_spec(&mspec).unwrap_or_else(|e| {
+            eprintln!("ci_grid: invalid {} spec: {e}", kind.id());
+            std::process::exit(2);
+        });
+        total_cells += mgrid.n_cells();
+        let mresults = run_spec_cells(&mspec, &mgrid.cells()).expect("validated above");
+        let mut walls: Vec<f64> = mresults.iter().map(|r| r.wall.as_secs_f64()).collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let mmerged = mgrid.merge_named(mresults, &names);
+        cells.push(CellPerf {
+            preset: kind.id().to_string(),
+            l1: mech_l1,
+            hmean_ipc: mmerged[0][0].hmean_ipc(),
+            median_cell_wall_s: median(&walls),
+            min_cell_wall_s: walls[0],
+            max_cell_wall_s: walls[walls.len() - 1],
+        });
+    }
+    let total_wall_s = t0.elapsed().as_secs_f64();
 
     let report = PerfReport {
         total_wall_s,
@@ -108,14 +142,17 @@ fn main() {
         benches,
     };
 
-    println!("# CI mini-grid ({} cells, {total_wall_s:.2}s)", grid.n_cells());
+    println!("# CI mini-grid ({total_cells} cells incl. mechanism rows, {total_wall_s:.2}s)");
     for c in &report.cells {
         println!(
-            "{:<12} {:>6}  hmean_ipc {:.4}  median cell {:.4}s",
+            "{:<12} {:>6}  hmean_ipc {:.4}  cell wall {:.4}s [{:.4}..{:.4}, spread {:.0}%]",
             c.preset,
             size_label(c.l1),
             c.hmean_ipc,
-            c.median_cell_wall_s
+            c.median_cell_wall_s,
+            c.min_cell_wall_s,
+            c.max_cell_wall_s,
+            100.0 * c.wall_spread(),
         );
     }
     for b in &report.benches {

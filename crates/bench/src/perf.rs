@@ -21,7 +21,8 @@ use prestage_json::Json;
 /// One (preset, L1 size) row of the CI mini-grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellPerf {
-    /// Preset label (e.g. `"CLGP+L0"`).
+    /// Preset label (e.g. `"CLGP+L0"`), or a mechanism id (`"mana"`) for
+    /// the prefetcher-override rows.
     pub preset: String,
     pub l1: usize,
     /// Deterministic given seeds and run lengths — any movement at all
@@ -30,6 +31,21 @@ pub struct CellPerf {
     /// Median wall-clock of the row's cells on this host (noisy; only
     /// large movements are meaningful).
     pub median_cell_wall_s: f64,
+    /// Fastest cell of the row — with `max`, the raw data for the
+    /// ROADMAP's runner-noise characterization: once enough artifacts
+    /// record the per-row spread, the warning band can be tightened into
+    /// a failure threshold with evidence instead of guesswork.
+    pub min_cell_wall_s: f64,
+    /// Slowest cell of the row.
+    pub max_cell_wall_s: f64,
+}
+
+impl CellPerf {
+    /// Within-row spread `max/min - 1`: the single-run noise proxy the
+    /// escalation decision will be based on.
+    pub fn wall_spread(&self) -> f64 {
+        rel_delta(self.min_cell_wall_s, self.max_cell_wall_s)
+    }
 }
 
 /// Median per-iteration latency of one Criterion-shim micro-bench
@@ -52,9 +68,10 @@ pub struct PerfReport {
     pub benches: Vec<BenchMedian>,
 }
 
-/// Current artifact schema.  2 added the `benches` section (schema-1
-/// baselines read as "no baseline" for one run after the upgrade).
-pub const PERF_SCHEMA: u32 = 2;
+/// Current artifact schema.  2 added the `benches` section; 3 added the
+/// per-row min/max cell wall-clock (noise characterization).  Earlier-
+/// schema baselines read as "no baseline" for one run after an upgrade.
+pub const PERF_SCHEMA: u32 = 3;
 
 /// Relative change `new/old - 1`, with a zero/zero as no change and a
 /// from-zero jump as +inf.
@@ -86,6 +103,8 @@ impl PerfReport {
                                 ("l1", c.l1.into()),
                                 ("hmean_ipc", c.hmean_ipc.into()),
                                 ("median_cell_wall_s", c.median_cell_wall_s.into()),
+                                ("min_cell_wall_s", c.min_cell_wall_s.into()),
+                                ("max_cell_wall_s", c.max_cell_wall_s.into()),
                             ])
                         })
                         .collect(),
@@ -128,6 +147,8 @@ impl PerfReport {
                     l1: c.get("l1")?.as_usize()?,
                     hmean_ipc: c.get("hmean_ipc")?.as_f64()?,
                     median_cell_wall_s: c.get("median_cell_wall_s")?.as_f64()?,
+                    min_cell_wall_s: c.get("min_cell_wall_s")?.as_f64()?,
+                    max_cell_wall_s: c.get("max_cell_wall_s")?.as_f64()?,
                 })
             })
             .collect::<Option<Vec<_>>>()?;
@@ -223,7 +244,7 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
         let d_ipc = rel_delta(prev.hmean_ipc, c.hmean_ipc);
         let d_wall = rel_delta(prev.median_cell_wall_s, c.median_cell_wall_s);
         deltas.push(format!(
-            "{} @ {}B: hmean_ipc {:.4} -> {:.4} ({:+.1}%), median cell wall {:.4}s -> {:.4}s ({:+.1}%)",
+            "{} @ {}B: hmean_ipc {:.4} -> {:.4} ({:+.1}%), median cell wall {:.4}s -> {:.4}s ({:+.1}%), spread {:.0}% -> {:.0}%",
             c.preset,
             c.l1,
             prev.hmean_ipc,
@@ -232,6 +253,8 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
             prev.median_cell_wall_s,
             c.median_cell_wall_s,
             100.0 * d_wall,
+            100.0 * prev.wall_spread(),
+            100.0 * c.wall_spread(),
         ));
         if d_ipc.abs() > GRID_WARN {
             warnings.push(format!(
@@ -298,12 +321,16 @@ mod tests {
                     l1: 1024,
                     hmean_ipc: ipc,
                     median_cell_wall_s: wall,
+                    min_cell_wall_s: wall * 0.8,
+                    max_cell_wall_s: wall * 1.3,
                 },
                 CellPerf {
                     preset: "CLGP+L0".into(),
                     l1: 4096,
                     hmean_ipc: 1.5,
                     median_cell_wall_s: 0.02,
+                    min_cell_wall_s: 0.018,
+                    max_cell_wall_s: 0.025,
                 },
             ],
             benches: vec![BenchMedian {
@@ -326,7 +353,7 @@ mod tests {
         assert!(PerfReport::from_json("not json at all").is_none());
         let other = report(1.0, 1.0)
             .to_json()
-            .replace("\"schema\": 2", "\"schema\": 1");
+            .replace("\"schema\": 3", "\"schema\": 2");
         assert!(PerfReport::from_json(&other).is_none());
     }
 
@@ -356,6 +383,20 @@ mod tests {
         // Faster wall-clock alone never warns.
         let (_, warnings) = diff(&old, &report(1.00, 0.0050));
         assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn per_row_spread_is_recorded_for_noise_characterization() {
+        let r = report(1.0, 0.0100);
+        assert!((r.cells[0].wall_spread() - (1.3 / 0.8 - 1.0)).abs() < 1e-9);
+        // The spread survives the artifact round-trip and shows up in the
+        // human-readable deltas, so successive CI runs accumulate the
+        // noise evidence the warning→failure escalation needs.
+        let back = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.cells[0].min_cell_wall_s, r.cells[0].min_cell_wall_s);
+        assert_eq!(back.cells[0].max_cell_wall_s, r.cells[0].max_cell_wall_s);
+        let (deltas, _) = diff(&r, &r);
+        assert!(deltas[0].contains("spread"), "{deltas:?}");
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl Default for StreamPredictorConfig {
 struct Entry {
     valid: bool,
     tag: u32,
-    len: u16,
+    /// Stream length in instructions, stored at full width: a narrower
+    /// field silently clamped long streams (> 65535 instructions) and
+    /// trained the predictor on a corrupted length.  Normal operation
+    /// never exceeds `MAX_STREAM_INSTS`, but the table must be faithful
+    /// to whatever [`StreamDesc`] it is trained with.
+    len: u32,
     next: Addr,
     end: StreamEnd,
     conf: u8,
@@ -54,7 +59,7 @@ impl Entry {
     fn to_stream(self, start: Addr) -> StreamDesc {
         StreamDesc {
             start,
-            len: self.len as u32,
+            len: self.len,
             next: self.next,
             end: self.end,
         }
@@ -62,7 +67,7 @@ impl Entry {
 
     fn matches(&self, actual: &StreamDesc) -> bool {
         self.valid
-            && self.len as u32 == actual.len
+            && self.len == actual.len
             && self.end == actual.end
             && (self.end == StreamEnd::Return || self.next == actual.next)
     }
@@ -124,7 +129,16 @@ fn fold_tag(x: u64) -> u32 {
 
 impl StreamPredictor {
     pub fn new(cfg: StreamPredictorConfig) -> Self {
-        assert!(cfg.l1_entries.is_power_of_two());
+        // The first level is indexed with `& (l1_entries - 1)` while the
+        // second level uses `%`: a non-power-of-two first level would
+        // silently alias entries and the two tables would disagree about
+        // which streams they cover.  Reject it at construction, by name.
+        assert!(
+            cfg.l1_entries.is_power_of_two(),
+            "StreamPredictorConfig.l1_entries must be a power of two \
+             (the PC-indexed level is mask-indexed), got {}",
+            cfg.l1_entries
+        );
         StreamPredictor {
             l1: vec![Entry::default(); cfg.l1_entries],
             l2: vec![Entry::default(); cfg.l2_entries],
@@ -188,7 +202,7 @@ impl StreamPredictor {
         *entry = Entry {
             valid: true,
             tag,
-            len: actual.len.min(u16::MAX as u32) as u16,
+            len: actual.len,
             next: actual.next,
             end: actual.end,
             conf: 1,
@@ -437,6 +451,46 @@ mod tests {
         assert_eq!(pa.stream.next, 0x1000, "history 1 should predict a");
         assert_eq!(pb.stream.next, 0x1020, "history 2 should predict b");
         assert!(pb.from_l2);
+    }
+
+    #[test]
+    fn long_streams_train_at_full_length() {
+        // Regression: the table entry's length field used to be a u16 with
+        // a silent `.min(u16::MAX)` clamp, so a synthetic stream longer
+        // than 65535 instructions trained the predictor on a corrupted
+        // length.  The table must reproduce what it was trained with.
+        let prog = loop_program();
+        let mut p = StreamPredictor::paper_default();
+        let long = StreamDesc {
+            start: 0x1000,
+            len: 100_000, // > u16::MAX
+            next: 0x1000,
+            end: StreamEnd::Taken,
+        };
+        let tok = p.token(0x1000);
+        p.train_with_token(&tok, &long, false);
+        let pred = p.predict(0x1000, &prog);
+        assert!(pred.table_hit, "entry should have been allocated");
+        assert_eq!(
+            pred.stream.len, 100_000,
+            "trained length must survive table storage untruncated"
+        );
+        // And matching against the same stream counts as correct training
+        // (the clamped entry used to mismatch forever).
+        let tok = p.token(0x1000);
+        p.train_with_token(&tok, &long, true);
+        let pred = p.predict(0x1000, &prog);
+        assert_eq!(pred.stream.len, 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "l1_entries must be a power of two")]
+    fn non_pow2_l1_table_is_rejected_by_name() {
+        let cfg = StreamPredictorConfig {
+            l1_entries: 1000, // not a power of two: mask-indexing would alias
+            ..StreamPredictorConfig::default()
+        };
+        let _ = StreamPredictor::new(cfg);
     }
 
     #[test]

@@ -50,14 +50,30 @@ impl SetAssocCache {
     /// ways.
     ///
     /// # Panics
-    /// Panics on non-power-of-two capacity/line or a capacity smaller than
-    /// one way of lines.
+    /// Panics on non-power-of-two capacity/line, a capacity smaller than
+    /// one way of lines, or an associativity yielding a non-power-of-two
+    /// set count — sets are mask-indexed (`& (sets - 1)`), so a
+    /// non-power-of-two count would silently alias addresses into the
+    /// wrong sets instead of using the whole array.
     pub fn new(capacity: usize, line: usize, assoc: usize) -> Self {
-        assert!(capacity.is_power_of_two() && line.is_power_of_two());
+        assert!(
+            capacity.is_power_of_two(),
+            "cache capacity must be a power of two (mask-indexed sets), got {capacity}"
+        );
+        assert!(
+            line.is_power_of_two(),
+            "cache line size must be a power of two, got {line}"
+        );
         assert!(assoc >= 1);
         let lines = capacity / line;
         assert!(lines >= assoc, "capacity below one way");
         let sets = lines / assoc;
+        assert!(
+            sets.is_power_of_two() && sets * assoc == lines,
+            "associativity {assoc} over {lines} lines yields {sets} sets, which is \
+             not a power of two — set indexing uses `& (sets - 1)` and would \
+             silently alias"
+        );
         SetAssocCache {
             line_shift: line.trailing_zeros(),
             sets,
@@ -293,6 +309,21 @@ mod tests {
         let victim = c.fill(0x9000);
         assert!(victim.is_some());
         assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_pow2_set_count_is_rejected() {
+        // Regression: 4096 B / 64 B lines = 64 lines; 3 ways → 21 sets.
+        // Set indexing is `& (sets - 1)`, so this used to silently alias
+        // (and strand sets) instead of failing; now it refuses by name.
+        let _ = SetAssocCache::new(4096, 64, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be a power of two")]
+    fn non_pow2_capacity_is_rejected_by_name() {
+        let _ = SetAssocCache::new(1536, 64, 2);
     }
 
     #[test]

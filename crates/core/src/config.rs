@@ -4,7 +4,12 @@ use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
 use serde::{Deserialize, Serialize};
 
 /// Which prefetch engine drives the pre-buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Every kind is a pluggable mechanism behind the
+/// [`InstrPrefetcher`](crate::prefetch::InstrPrefetcher) trait; the
+/// front-end only knows the registry
+/// ([`build_prefetcher`](crate::prefetch::build_prefetcher)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PrefetcherKind {
     /// No prefetching (baseline).
     None,
@@ -17,6 +22,54 @@ pub enum PrefetcherKind {
     /// prefetches of the next `nlp_degree` sequential lines into an
     /// FDP-style buffer.
     NextLine,
+    /// MANA (Ansari et al., "MANA: Microarchitecting an Instruction
+    /// Prefetcher", HPCA'20-style record-and-replay): spatial-region
+    /// records keyed by trigger line in a set-associative MANA table,
+    /// chained by successor pointers and chased ahead of fetch by a small
+    /// stream address buffer.
+    Mana,
+    /// High-level program-map traversal (Murthy & Sohi): a coarse-grained
+    /// region-successor map over the workload's block graph; fetching into
+    /// a new region prefetches the lines of the next learned region(s).
+    ProgMap,
+}
+
+impl PrefetcherKind {
+    /// All kinds, ladder order (baseline → classic → paper → modern).
+    pub fn all() -> [PrefetcherKind; 6] {
+        use PrefetcherKind::*;
+        [None, NextLine, Fdp, Clgp, Mana, ProgMap]
+    }
+
+    /// Stable identifier used by `ExperimentSpec` JSON and the CLI.
+    pub fn id(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::Fdp => "fdp",
+            PrefetcherKind::Clgp => "clgp",
+            PrefetcherKind::NextLine => "nextline",
+            PrefetcherKind::Mana => "mana",
+            PrefetcherKind::ProgMap => "progmap",
+        }
+    }
+
+    /// Parse an [`id`](Self::id) (case-insensitive).
+    pub fn from_id(s: &str) -> Option<PrefetcherKind> {
+        let s = s.trim().to_lowercase();
+        PrefetcherKind::all().into_iter().find(|k| k.id() == s)
+    }
+
+    /// Human-readable label for figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "no prefetch",
+            PrefetcherKind::Fdp => "FDP",
+            PrefetcherKind::Clgp => "CLGP",
+            PrefetcherKind::NextLine => "next-N-line",
+            PrefetcherKind::Mana => "MANA",
+            PrefetcherKind::ProgMap => "program map",
+        }
+    }
 }
 
 /// Static configuration of the front-end.
@@ -50,6 +103,23 @@ pub struct FrontendConfig {
     pub max_inflight: usize,
     /// Sequential prefetch degree for [`PrefetcherKind::NextLine`].
     pub nlp_degree: u32,
+    /// MANA-table entries (total, across its 4-way sets); power of two.
+    pub mana_entries: usize,
+    /// Lines per MANA spatial region (trigger + `region - 1` bitmap bits);
+    /// at most 33 (a `u32` bitmap plus the trigger line itself).
+    pub mana_region_lines: u32,
+    /// Stream-address-buffer entries (active MANA record chains).
+    pub mana_sab_entries: usize,
+    /// Records chased ahead per MANA stream advance.
+    pub mana_degree: u32,
+    /// Program-map entries (direct-mapped region-successor table); power
+    /// of two.
+    pub progmap_entries: usize,
+    /// Program-map region granularity in bytes; power of two, at least
+    /// one cache line.
+    pub progmap_region_bytes: u64,
+    /// Regions traversed ahead per program-map region change.
+    pub progmap_degree: u32,
     /// Ablation: CLGP's prestage buffer uses FDP's free-on-use replacement
     /// instead of consumers counters (quantifies the counter's coverage).
     pub ablate_free_on_use: bool,
@@ -81,10 +151,96 @@ impl FrontendConfig {
             piq_entries: 8,
             max_inflight: 4,
             nlp_degree: 2,
+            mana_entries: 1024,
+            mana_region_lines: 8,
+            mana_sab_entries: 4,
+            mana_degree: 2,
+            progmap_entries: 2048,
+            progmap_region_bytes: 256,
+            progmap_degree: 2,
             ablate_free_on_use: false,
             ablate_migrate: false,
             ablate_filter: false,
         }
+    }
+
+    /// Check every sizing invariant the storage structures assume, naming
+    /// the offending field.  Mask-indexed tables (the L1's sets, the MANA
+    /// table, the program map) silently alias on non-power-of-two sizes,
+    /// so spec consumers validate here *before* anything is constructed.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "line_bytes {} is not a power of two",
+                self.line_bytes
+            ));
+        }
+        if !self.l1_capacity.is_power_of_two() {
+            return Err(format!(
+                "l1_capacity {} is not a power of two (cache sets are \
+                 mask-indexed and would silently alias)",
+                self.l1_capacity
+            ));
+        }
+        let lines = self.l1_capacity / self.line_bytes as usize;
+        if self.l1_assoc == 0 || lines < self.l1_assoc {
+            return Err(format!(
+                "l1_assoc {} does not fit {} lines of l1_capacity",
+                self.l1_assoc, lines
+            ));
+        }
+        let sets = lines / self.l1_assoc;
+        if !sets.is_power_of_two() || sets * self.l1_assoc != lines {
+            return Err(format!(
+                "l1_assoc {} over {lines} lines yields a non-power-of-two \
+                 set count ({sets}) — set indexing is mask-based and would \
+                 silently alias",
+                self.l1_assoc
+            ));
+        }
+        if let Some(l0) = self.l0_capacity {
+            if !l0.is_power_of_two() {
+                return Err(format!("l0_capacity {l0} is not a power of two"));
+            }
+        }
+        if self.prefetcher == PrefetcherKind::Mana {
+            if !self.mana_entries.is_power_of_two() {
+                return Err(format!(
+                    "mana_entries {} is not a power of two (the MANA table \
+                     is mask-indexed)",
+                    self.mana_entries
+                ));
+            }
+            if self.mana_region_lines < 2 || self.mana_region_lines > 33 {
+                return Err(format!(
+                    "mana_region_lines {} out of range 2..=33 (a u32 bitmap \
+                     plus the trigger line)",
+                    self.mana_region_lines
+                ));
+            }
+            if self.mana_sab_entries == 0 {
+                return Err("mana_sab_entries must be at least 1".into());
+            }
+        }
+        if self.prefetcher == PrefetcherKind::ProgMap {
+            if !self.progmap_entries.is_power_of_two() {
+                return Err(format!(
+                    "progmap_entries {} is not a power of two (the program \
+                     map is mask-indexed)",
+                    self.progmap_entries
+                ));
+            }
+            if !self.progmap_region_bytes.is_power_of_two()
+                || self.progmap_region_bytes < self.line_bytes
+            {
+                return Err(format!(
+                    "progmap_region_bytes {} must be a power of two of at \
+                     least one {}-byte line",
+                    self.progmap_region_bytes, self.line_bytes
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The single-cycle pre-buffer/L0 size CACTI allows at `tech`

@@ -36,6 +36,7 @@
 
 use crate::buffer::{PbKind, PbLookup, PreBuffer};
 use crate::config::{FrontendConfig, PrefetcherKind};
+use crate::prefetch::{build_prefetcher, InstrPrefetcher, PrefetchCheckpoint, PrefetchView};
 use crate::queue::{FetchQueue, LineSlot, QueueKind};
 use crate::stats::FrontStats;
 use prestage_cache::{ArrayPort, Completion, L2System, MemSource, ReqClass, ReqId, SetAssocCache};
@@ -85,9 +86,9 @@ struct LineFetch {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct Route {
-    demand: bool,
-    pb_fill: bool,
+pub(crate) struct Route {
+    pub(crate) demand: bool,
+    pub(crate) pb_fill: bool,
 }
 
 /// The decoupled fetch front-end.
@@ -105,8 +106,9 @@ pub struct FrontEnd {
     l1_copy_port: ArrayPort,
     l0: Option<(SetAssocCache, ArrayPort)>,
     inflight: VecDeque<LineFetch>,
-    /// FDP prefetch instruction queue.
-    piq: VecDeque<Addr>,
+    /// The pluggable prefetch mechanism (`None` for the no-prefetch
+    /// baseline); see [`crate::prefetch`].
+    pf: Option<Box<dyn InstrPrefetcher>>,
     /// Prefetch copies from the L1 completing at (cycle, synthetic id).
     l1_copies: Vec<(u64, ReqId)>,
     routes: HashMap<ReqId, Route>,
@@ -148,7 +150,7 @@ impl FrontEnd {
             l1_copy_port: ArrayPort::new(cfg.l1_latency(), cfg.l1_pipelined),
             l0,
             inflight: VecDeque::new(),
-            piq: VecDeque::new(),
+            pf: build_prefetcher(&cfg),
             l1_copies: Vec::new(),
             routes: HashMap::new(),
             next_synth: SYNTH_BASE,
@@ -165,12 +167,16 @@ impl FrontEnd {
         &self.stats
     }
 
-    /// Zero all counters (end of warm-up); cache/buffer contents are kept.
+    /// Zero all counters (end of warm-up); cache/buffer contents and the
+    /// prefetch mechanism's warm tables are kept.
     pub fn reset_stats(&mut self) {
         self.stats = FrontStats::default();
         self.l1.reset_stats();
         if let Some((l0, _)) = &mut self.l0 {
             l0.reset_stats();
+        }
+        if let Some(pf) = &mut self.pf {
+            pf.reset_stats();
         }
     }
 
@@ -200,17 +206,45 @@ impl FrontEnd {
     }
 
     /// Branch misprediction reached the front-end: drop queued work and
-    /// in-flight fetches; reset prestage consumers counters.  Demand
-    /// requests already in the memory system still complete and fill the
-    /// caches (useful wrong-path warmth), they just deliver nothing.
+    /// in-flight fetches; reset prestage consumers counters; tell the
+    /// prefetch mechanism to drop its request queues.  Demand requests
+    /// already in the memory system still complete and fill the caches
+    /// (useful wrong-path warmth), they just deliver nothing.
     pub fn flush(&mut self) {
         self.queue.flush();
         self.inflight.clear();
-        self.piq.clear();
+        if let Some(pf) = &mut self.pf {
+            pf.on_redirect();
+        }
         if let Some(pb) = &mut self.pb {
             pb.on_mispredict();
         }
         self.stats.flushes += 1;
+    }
+
+    /// Snapshot the prefetch mechanism's speculative state (training
+    /// cursors, stream expectations) — taken by the engine when it detects
+    /// a divergence, *before* wrong-path fetches are observed.
+    pub fn prefetcher_checkpoint(&self) -> PrefetchCheckpoint {
+        self.pf
+            .as_ref()
+            .map(|pf| pf.checkpoint())
+            .unwrap_or_default()
+    }
+
+    /// Reinstall a [`prefetcher_checkpoint`](Self::prefetcher_checkpoint)
+    /// after the redirect [`flush`](Self::flush), so wrong-path
+    /// observations do not corrupt the mechanism's speculative cursors.
+    pub fn prefetcher_restore(&mut self, cp: &PrefetchCheckpoint) {
+        if let Some(pf) = &mut self.pf {
+            pf.restore(cp);
+        }
+    }
+
+    /// Mechanism-private metadata storage in bytes (for the CACTI
+    /// area/energy accounting); 0 for the no-prefetch baseline.
+    pub fn prefetcher_state_bytes(&self) -> usize {
+        self.pf.as_ref().map(|pf| pf.state_bytes()).unwrap_or(0)
     }
 
     /// Route an L2-system completion (the engine filters by requester).
@@ -261,11 +295,24 @@ impl FrontEnd {
         self.resolve_waiting_pb(now, l2);
         self.deliver(now, downstream_free, out);
         self.start_fetches(now, l2);
-        match self.cfg.prefetcher {
-            PrefetcherKind::None => {}
-            PrefetcherKind::Fdp => self.tick_fdp(now, l2),
-            PrefetcherKind::Clgp => self.tick_clgp(now, l2),
-            PrefetcherKind::NextLine => self.tick_nlp(now, l2),
+        // Prefetch mechanism tick: lend it the view of everything a
+        // prefetch engine may touch (it cannot reach the in-flight fetch
+        // pipeline or the ports the fetch unit owns).
+        if let Some(mut pf) = self.pf.take() {
+            let mut view = PrefetchView {
+                cfg: &self.cfg,
+                queue: &mut self.queue,
+                pb: self.pb.as_mut(),
+                l1: &mut self.l1,
+                l0: self.l0.as_mut().map(|(l0, _)| l0),
+                l1_copy_port: &mut self.l1_copy_port,
+                l1_copies: &mut self.l1_copies,
+                routes: &mut self.routes,
+                next_synth: &mut self.next_synth,
+                stats: &mut self.stats,
+            };
+            pf.tick(now, &mut view, l2);
+            self.pf = Some(pf);
         }
     }
 
@@ -401,13 +448,14 @@ impl FrontEnd {
             if source == FetchSource::PreBuffer {
                 if let Some(pb) = &mut self.pb {
                     pb.consume(slot.line);
-                    let migrate = pb.kind() == PbKind::Fdp
-                        || (self.cfg.prefetcher == PrefetcherKind::Clgp
-                            && self.cfg.ablate_migrate);
+                    // Migration into the one-cycle reach — L0 when present
+                    // (§3.1.1), else the L1 — is the mechanism's policy:
+                    // FDP migrates, CLGP keeps buffer and caches disjoint.
+                    let migrate = self
+                        .pf
+                        .as_ref()
+                        .is_some_and(|pf| pf.migrate_used_lines());
                     if migrate {
-                        // FDP migrates used lines into the 1-cycle reach:
-                        // L0 when present (§3.1.1), else the L1.  (CLGP
-                        // only does this under the migration ablation.)
                         match &mut self.l0 {
                             Some((l0, _)) => {
                                 l0.fill(slot.line);
@@ -478,14 +526,11 @@ impl FrontEnd {
                 }
             };
             self.queue.pop_head_line();
-            // Next-N-line prefetching triggers off every demand line fetch.
-            if self.cfg.prefetcher == PrefetcherKind::NextLine {
-                for k in 1..=self.cfg.nlp_degree as u64 {
-                    let next = line + k * self.cfg.line_bytes;
-                    if self.piq.len() < self.cfg.piq_entries && !self.piq.contains(&next) {
-                        self.piq.push_back(next);
-                    }
-                }
+            // Observation hook: the mechanism sees the in-order fetch
+            // stream (next-line triggers off it; MANA/program-map train
+            // their tables and advance their stream expectations).
+            if let Some(pf) = &mut self.pf {
+                pf.observe_fetch(&slot);
             }
             self.inflight.push_back(LineFetch {
                 slot,
@@ -497,164 +542,4 @@ impl FrontEnd {
         }
     }
 
-    // -- FDP (§3.1) -------------------------------------------------------
-
-    fn tick_fdp(&mut self, now: u64, l2: &mut L2System) {
-        // Enqueue phase: process up to two queue slots through the probe
-        // filter (the "additional tag port / replicated tags").
-        for _ in 0..2 {
-            if self.piq.len() >= self.cfg.piq_entries {
-                break;
-            }
-            let Some(pb) = &mut self.pb else { break };
-            let Some(slot) = self.queue.first_unprefetched() else {
-                break;
-            };
-            let line = slot.line;
-            slot.prefetched = true;
-            if pb.lookup(line) != PbLookup::Miss || self.piq.contains(&line) {
-                self.stats.prefetch_from_pb += 1;
-                continue;
-            }
-            // Enqueue Cache Probe Filtering: no prefetch is done if the
-            // line is already in the L1 (or the L0 when present) — the
-            // paper's §5.2.  This is exactly FDP's weakness against CLGP:
-            // L1-resident lines keep paying the multi-cycle hit.
-            if let Some((l0, _)) = &mut self.l0 {
-                if l0.probe(line) {
-                    self.stats.filtered += 1;
-                    self.stats.prefetch_from_pb += 1;
-                    continue;
-                }
-            }
-            if self.l1.probe(line) {
-                self.stats.filtered += 1;
-                self.stats.prefetch_from_l1 += 1;
-                continue;
-            }
-            self.piq.push_back(line);
-        }
-
-        // Issue phase: one prefetch per cycle from the PIQ head.
-        let Some(&line) = self.piq.front() else { return };
-        let Some(pb) = &mut self.pb else { return };
-        if pb.lookup(line) != PbLookup::Miss {
-            // Raced with a demand fill or duplicate: drop it.
-            self.piq.pop_front();
-            return;
-        }
-        if !pb.can_allocate() {
-            self.stats.pb_alloc_stalls += 1;
-            return;
-        }
-        // §3.1.1: with an L0 the prefetch request is served by the L1
-        // when the line is (rarely, post-filter) found there; otherwise —
-        // and always in base FDP — by the L2 hierarchy.
-        if self.l0.is_some() && self.l1.probe(line) {
-            let done = self.l1_copy_port.start(now);
-            let id = ReqId(self.next_synth);
-            self.next_synth += 1;
-            pb.allocate(line, id);
-            self.l1_copies.push((done, id));
-            self.stats.prefetch_from_l1 += 1;
-            self.stats.prefetches_issued += 1;
-        } else {
-            let req = match l2.find_pending(line) {
-                Some(r) => r,
-                None => l2.submit(line, ReqClass::Prefetch, now),
-            };
-            pb.allocate(line, req);
-            self.routes.entry(req).or_default().pb_fill = true;
-            self.stats.prefetches_issued += 1;
-        }
-        self.piq.pop_front();
-    }
-
-    // -- Next-N-line (related work §2.1) -----------------------------------
-
-    /// Sequential prefetching: issue one queued next-line candidate per
-    /// cycle through the same probe filter and buffer as FDP.
-    fn tick_nlp(&mut self, now: u64, l2: &mut L2System) {
-        let Some(&line) = self.piq.front() else { return };
-        let Some(pb) = &mut self.pb else { return };
-        if pb.lookup(line) != PbLookup::Miss || self.l1.probe(line) {
-            self.stats.filtered += 1;
-            self.piq.pop_front();
-            return;
-        }
-        if !pb.can_allocate() {
-            self.stats.pb_alloc_stalls += 1;
-            return;
-        }
-        let req = match l2.find_pending(line) {
-            Some(r) => r,
-            None => l2.submit(line, ReqClass::Prefetch, now),
-        };
-        pb.allocate(line, req);
-        self.routes.entry(req).or_default().pb_fill = true;
-        self.stats.prefetches_issued += 1;
-        self.piq.pop_front();
-    }
-
-    // -- CLGP (§3.2) ------------------------------------------------------
-
-    fn tick_clgp(&mut self, now: u64, l2: &mut L2System) {
-        // Scan up to four CLTQ entries; issue at most one real prefetch.
-        // No filtering: lines are brought to the prestage buffer even when
-        // they sit in the L1, because a prestage hit is cheaper than a
-        // multi-cycle L1 hit.
-        for _ in 0..4 {
-            let Some(pb) = &mut self.pb else { return };
-            let Some(slot) = self.queue.first_unprefetched() else {
-                return;
-            };
-            let line = slot.line;
-            if pb.lookup(line) != PbLookup::Miss {
-                // Already prestaged (or arriving): extend its lifetime.
-                pb.bump_consumers(line);
-                slot.prefetched = true;
-                self.stats.prefetch_from_pb += 1;
-                self.stats.consumer_bumps += 1;
-                continue;
-            }
-            // A line already one cycle away in the L0 needs no prestaging.
-            if let Some((l0, _)) = &mut self.l0 {
-                if l0.probe(line) {
-                    slot.prefetched = true;
-                    self.stats.prefetch_from_pb += 1;
-                    continue;
-                }
-            }
-            if !pb.can_allocate() {
-                // Head-of-line stall: every entry is pinned by consumers.
-                self.stats.pb_alloc_stalls += 1;
-                return;
-            }
-            slot.prefetched = true;
-            if self.cfg.ablate_filter && self.l1.probe(line) {
-                // Ablated CLGP: behave like FDP's filter — leave the line
-                // to the multi-cycle L1.
-                self.stats.filtered += 1;
-                self.stats.prefetch_from_l1 += 1;
-                continue;
-            }
-            if self.l1.probe(line) {
-                let done = self.l1_copy_port.start(now);
-                let id = ReqId(self.next_synth);
-                self.next_synth += 1;
-                pb.allocate(line, id);
-                self.l1_copies.push((done, id));
-                self.stats.prefetch_from_l1 += 1;
-            } else {
-                let req = match l2.find_pending(line) {
-                    Some(r) => r,
-                    None => l2.submit(line, ReqClass::Prefetch, now),
-                };
-                pb.allocate(line, req);
-                self.routes.entry(req).or_default().pb_fill = true;
-            }
-            self.stats.prefetches_issued += 1;
-            return; // one real prefetch per cycle
-        }
-    }
 }

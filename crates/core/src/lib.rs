@@ -1,8 +1,8 @@
 //! # prestage-core
 //!
 //! The paper's primary contribution, as a reusable library: a decoupled
-//! instruction fetch front-end whose queue entries drive prefetching, in
-//! three flavours:
+//! instruction fetch front-end whose prefetch path is an open mechanism
+//! registry ([`prefetch::InstrPrefetcher`] behind [`PrefetcherKind`]):
 //!
 //! * **No prefetching** — the baseline (with optional L0 filter cache and
 //!   optional pipelined L1).
@@ -16,6 +16,11 @@
 //!   until its last queued use, fetched lines are **not** migrated into the
 //!   I-cache, and the L1 is demoted to an *emergency cache* fed only by
 //!   demand misses (mostly after branch mispredictions).
+//! * **Next-N-line, MANA, program-map traversal** — the related-work
+//!   comparison points (sequential prefetching; spatial-region
+//!   record-and-replay per Ansari et al.; coarse region-successor
+//!   traversal per Murthy & Sohi), each a [`prefetch`] mechanism riding
+//!   the same pre-buffer and issue paths.
 //!
 //! The front-end is cycle-driven: the embedding simulator pushes predicted
 //! fetch blocks in ([`FrontEnd::push_block`]), ticks it once per cycle with
@@ -27,11 +32,16 @@
 pub mod buffer;
 pub mod config;
 pub mod frontend;
+pub mod prefetch;
 pub mod queue;
 pub mod stats;
 
 pub use buffer::{PbKind, PbLookup, PreBuffer};
 pub use config::{FrontendConfig, PrefetcherKind};
 pub use frontend::{Delivery, FetchSource, FrontEnd};
+pub use prefetch::{
+    build_prefetcher, prefetcher_state_bytes, ClgpPrefetcher, FdpPrefetcher, InstrPrefetcher,
+    ManaPrefetcher, NextLinePrefetcher, PrefetchCheckpoint, PrefetchView, ProgMapPrefetcher,
+};
 pub use queue::{FetchQueue, LineSlot, QueueKind};
 pub use stats::{FrontStats, SourceCount};

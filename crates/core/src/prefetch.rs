@@ -1,0 +1,981 @@
+//! Pluggable instruction-prefetch mechanisms.
+//!
+//! The front-end used to hard-code a three-way branch (FDP / CLGP /
+//! next-line) in its cycle loop; this module turns that into an open
+//! mechanism registry.  Each mechanism implements [`InstrPrefetcher`]:
+//!
+//! * it **observes** the fetch stream ([`InstrPrefetcher::observe_fetch`]
+//!   as the fetch unit accepts queue slots) and redirects
+//!   ([`InstrPrefetcher::on_redirect`]), and owns the used-line migration
+//!   policy ([`InstrPrefetcher::migrate_used_lines`]);
+//! * it **emits prefetch requests** once per cycle through
+//!   [`InstrPrefetcher::tick`], using the [`PrefetchView`] the front-end
+//!   lends it (queue scan, pre-buffer allocation, L1 probe/copy ports, L2
+//!   requests);
+//! * its speculative training state is **checkpointed/restored** around
+//!   wrong-path excursions ([`InstrPrefetcher::checkpoint`] /
+//!   [`InstrPrefetcher::restore`]) and its counters reset at the warm-up
+//!   boundary ([`InstrPrefetcher::reset_stats`]).
+//!
+//! [`build_prefetcher`] is the registry: one constructor per
+//! [`PrefetcherKind`].  The paper's FDP (§3.1) and CLGP (§3.2) engines and
+//! the related-work next-N-line scheme are ports of the previous inlined
+//! code (bit-exact — the conformance suites hold them to the old
+//! behaviour); [`ManaPrefetcher`] and [`ProgMapPrefetcher`] are the new
+//! record-and-replay comparisons named in the ROADMAP.
+
+use crate::buffer::{PbLookup, PreBuffer};
+use crate::config::{FrontendConfig, PrefetcherKind};
+use crate::frontend::Route;
+use crate::queue::{FetchQueue, LineSlot};
+use crate::stats::FrontStats;
+use prestage_cache::{ArrayPort, L2System, ReqClass, ReqId, SetAssocCache};
+use prestage_isa::Addr;
+use std::collections::{HashMap, VecDeque};
+
+/// Upper bound on any mechanism's internal request queue that is not
+/// already bounded by `piq_entries` (MANA region expansions, program-map
+/// traversals).  A hardware MSHR-file-sized structure, not a software
+/// convenience.
+pub const PREFETCH_QUEUE_CAP: usize = 32;
+
+/// Opaque snapshot of a mechanism's *speculative* state (training cursors,
+/// stream expectations) — the state that must be repaired when a branch
+/// misprediction unwinds the fetch stream the mechanism observed.
+/// Architectural tables (MANA records, the program map) are not part of
+/// it, mirroring how the stream predictor checkpoints history + RAS but
+/// not its tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchCheckpoint(Vec<u64>);
+
+/// The slice of front-end state a mechanism may touch during its tick:
+/// the decoupling queue (scan + `prefetched` bits), the pre-buffer, the
+/// cache directories for probe filtering, and the shared issue paths
+/// (synthetic L1 copies, prefetch-class L2 requests).
+pub struct PrefetchView<'a> {
+    pub cfg: &'a FrontendConfig,
+    pub queue: &'a mut FetchQueue,
+    pub pb: Option<&'a mut PreBuffer>,
+    pub l1: &'a mut SetAssocCache,
+    pub l0: Option<&'a mut SetAssocCache>,
+    pub(crate) l1_copy_port: &'a mut ArrayPort,
+    pub(crate) l1_copies: &'a mut Vec<(u64, ReqId)>,
+    pub(crate) routes: &'a mut HashMap<ReqId, Route>,
+    pub(crate) next_synth: &'a mut u64,
+    pub stats: &'a mut FrontStats,
+}
+
+impl PrefetchView<'_> {
+    /// Allocate `line` in the pre-buffer and fill it by copying out of the
+    /// L1 over the replicated-tag copy port (§3.1's "additional tag port"
+    /// extended to data).  Caller has verified the pre-buffer exists, the
+    /// line is absent from it, allocation can succeed, and the line is
+    /// L1-resident.
+    pub fn copy_from_l1(&mut self, line: Addr, now: u64) {
+        let pb = self.pb.as_deref_mut().expect("copy requires a pre-buffer");
+        let done = self.l1_copy_port.start(now);
+        let id = ReqId(*self.next_synth);
+        *self.next_synth += 1;
+        pb.allocate(line, id);
+        self.l1_copies.push((done, id));
+        self.stats.prefetch_from_l1 += 1;
+        self.stats.prefetches_issued += 1;
+    }
+
+    /// Allocate `line` in the pre-buffer and raise (or piggy-back on) a
+    /// prefetch-class request to the L2 system.  Caller has verified the
+    /// pre-buffer exists, the line is absent from it, and allocation can
+    /// succeed.
+    pub fn request_from_l2(&mut self, line: Addr, now: u64, l2: &mut L2System) {
+        let pb = self.pb.as_deref_mut().expect("prefetch requires a pre-buffer");
+        let req = match l2.find_pending(line) {
+            Some(r) => r,
+            None => l2.submit(line, ReqClass::Prefetch, now),
+        };
+        pb.allocate(line, req);
+        self.routes.entry(req).or_default().pb_fill = true;
+        self.stats.prefetches_issued += 1;
+    }
+}
+
+/// A pluggable instruction-prefetch mechanism driving the shared
+/// pre-buffer.  One instance lives inside each
+/// [`FrontEnd`](crate::FrontEnd); the front-end calls the hooks, the
+/// mechanism owns its tables and queues.
+pub trait InstrPrefetcher: std::fmt::Debug {
+    /// Which registry entry built this mechanism.
+    fn kind(&self) -> PrefetcherKind;
+
+    /// One cycle of prefetch work: scan whatever the mechanism scans and
+    /// emit at most a port-limited number of requests through `fe`.
+    fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System);
+
+    /// The fetch unit accepted `slot` from the decoupling queue — the
+    /// in-order (speculative, wrong-path-included) fetch stream every
+    /// history-based mechanism trains on.
+    fn observe_fetch(&mut self, slot: &LineSlot) {
+        let _ = slot;
+    }
+
+    /// Whether a pre-buffer line the fetch unit just used should migrate
+    /// into the one-cycle reach (L0 when present, else the L1).  FDP's
+    /// §3.1.1 policy and the default; CLGP overrides it (no duplication —
+    /// §3.2.3), as may any mechanism that copies L1-resident lines into
+    /// the buffer and does not want them filled straight back.
+    fn migrate_used_lines(&self) -> bool {
+        true
+    }
+
+    /// A branch-misprediction redirect reached the front-end: drop
+    /// in-flight request queues and stale stream expectations.
+    fn on_redirect(&mut self) {}
+
+    /// Snapshot speculative training state (taken when the engine detects
+    /// a divergence, i.e. before any wrong-path fetch is observed).
+    fn checkpoint(&self) -> PrefetchCheckpoint {
+        PrefetchCheckpoint::default()
+    }
+
+    /// Reinstall a [`checkpoint`](Self::checkpoint) (after the redirect
+    /// flush), so wrong-path observations do not corrupt the mechanism's
+    /// speculative cursors.
+    fn restore(&mut self, cp: &PrefetchCheckpoint) {
+        let _ = cp;
+    }
+
+    /// End of warm-up: clear measurement-only counters, keep warm tables.
+    fn reset_stats(&mut self) {}
+
+    /// Mechanism-private metadata storage in bytes (tables, queues,
+    /// pointers — everything beyond the shared pre-buffer), for the CACTI
+    /// area/energy accounting of the hardware-budget comparisons.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The mechanism registry: build the engine for `cfg.prefetcher`, or
+/// `None` for the no-prefetch baseline.
+///
+/// # Panics
+/// On a configuration [`FrontendConfig::validate`] rejects (non-power-of-
+/// two table sizes would silently alias; spec consumers validate earlier
+/// and report the field name as an error instead).
+pub fn build_prefetcher(cfg: &FrontendConfig) -> Option<Box<dyn InstrPrefetcher>> {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid front-end configuration: {e}");
+    }
+    match cfg.prefetcher {
+        PrefetcherKind::None => None,
+        PrefetcherKind::Fdp => Some(Box::new(FdpPrefetcher::new(cfg))),
+        PrefetcherKind::Clgp => Some(Box::new(ClgpPrefetcher::new(cfg))),
+        PrefetcherKind::NextLine => Some(Box::new(NextLinePrefetcher::new(cfg))),
+        PrefetcherKind::Mana => Some(Box::new(ManaPrefetcher::new(cfg))),
+        PrefetcherKind::ProgMap => Some(Box::new(ProgMapPrefetcher::new(cfg))),
+    }
+}
+
+/// Metadata storage the mechanism for `cfg` would use, without building it
+/// — the sizing input for CACTI area/energy columns.
+pub fn prefetcher_state_bytes(cfg: &FrontendConfig) -> usize {
+    match cfg.prefetcher {
+        PrefetcherKind::None => 0,
+        // PIQ of line addresses.
+        PrefetcherKind::Fdp | PrefetcherKind::NextLine => cfg.piq_entries * 8,
+        // CLGP's bookkeeping (prefetched bits, consumers counters) lives in
+        // the shared CLTQ and pre-buffer, both already accounted.
+        PrefetcherKind::Clgp => 0,
+        PrefetcherKind::Mana => {
+            // Per record: trigger tag (4 B) + successor pointer (4 B) +
+            // valid/replacement (1 B) + the spatial bitmap.
+            let bitmap_bytes = (cfg.mana_region_lines as usize - 1).div_ceil(8);
+            cfg.mana_entries * (9 + bitmap_bytes)
+                + cfg.mana_sab_entries * 8
+                + PREFETCH_QUEUE_CAP * 8
+        }
+        // Per map entry: region tag (4 B) + successor region (4 B).
+        PrefetcherKind::ProgMap => cfg.progmap_entries * 8 + PREFETCH_QUEUE_CAP * 8,
+    }
+}
+
+/// Issue the head of a mechanism-private request queue through the shared
+/// pre-buffer path: drop it if already buffered (or one cycle away in the
+/// L0), stall on a full buffer, serve L1-resident lines by copy (a
+/// one-cycle buffer hit beats the multi-cycle L1 hit — CLGP's insight,
+/// shared by both record-and-replay mechanisms), and otherwise raise an
+/// L2 prefetch.  One request per call — the single prefetch port every
+/// mechanism shares.
+fn issue_queue_head(
+    reqq: &mut VecDeque<Addr>,
+    now: u64,
+    fe: &mut PrefetchView<'_>,
+    l2: &mut L2System,
+) {
+    let Some(&line) = reqq.front() else { return };
+    let Some(pb) = fe.pb.as_deref_mut() else { return };
+    if pb.lookup(line) != PbLookup::Miss {
+        fe.stats.prefetch_from_pb += 1;
+        reqq.pop_front();
+        return;
+    }
+    if let Some(l0) = fe.l0.as_deref_mut() {
+        if l0.probe(line) {
+            fe.stats.prefetch_from_pb += 1;
+            reqq.pop_front();
+            return;
+        }
+    }
+    let Some(pb) = fe.pb.as_deref_mut() else { return };
+    if !pb.can_allocate() {
+        fe.stats.pb_alloc_stalls += 1;
+        return;
+    }
+    if fe.l1.probe(line) {
+        fe.copy_from_l1(line, now);
+    } else {
+        fe.request_from_l2(line, now, l2);
+    }
+    reqq.pop_front();
+}
+
+/// Push `line` into a capped, duplicate-free request queue.
+fn enqueue(reqq: &mut VecDeque<Addr>, line: Addr) {
+    if reqq.len() < PREFETCH_QUEUE_CAP && !reqq.contains(&line) {
+        reqq.push_back(line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FDP (§3.1) — port of the previous inlined engine, bit-exact.
+// ---------------------------------------------------------------------------
+
+/// Fetch Directed Prefetching with Enqueue Cache Probe Filtering: scans
+/// the FTQ through the probe filter into a PIQ, issues one prefetch per
+/// cycle from its head.
+#[derive(Debug)]
+pub struct FdpPrefetcher {
+    piq: VecDeque<Addr>,
+    piq_entries: usize,
+}
+
+impl FdpPrefetcher {
+    pub fn new(cfg: &FrontendConfig) -> Self {
+        FdpPrefetcher {
+            piq: VecDeque::new(),
+            piq_entries: cfg.piq_entries,
+        }
+    }
+}
+
+impl InstrPrefetcher for FdpPrefetcher {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::Fdp
+    }
+
+    fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System) {
+        // Enqueue phase: process up to two queue slots through the probe
+        // filter (the "additional tag port / replicated tags").
+        for _ in 0..2 {
+            if self.piq.len() >= self.piq_entries {
+                break;
+            }
+            let Some(pb) = fe.pb.as_deref_mut() else { break };
+            let Some(slot) = fe.queue.first_unprefetched() else {
+                break;
+            };
+            let line = slot.line;
+            slot.prefetched = true;
+            if pb.lookup(line) != PbLookup::Miss || self.piq.contains(&line) {
+                fe.stats.prefetch_from_pb += 1;
+                continue;
+            }
+            // Enqueue Cache Probe Filtering: no prefetch is done if the
+            // line is already in the L1 (or the L0 when present) — the
+            // paper's §5.2.  This is exactly FDP's weakness against CLGP:
+            // L1-resident lines keep paying the multi-cycle hit.
+            if let Some(l0) = fe.l0.as_deref_mut() {
+                if l0.probe(line) {
+                    fe.stats.filtered += 1;
+                    fe.stats.prefetch_from_pb += 1;
+                    continue;
+                }
+            }
+            if fe.l1.probe(line) {
+                fe.stats.filtered += 1;
+                fe.stats.prefetch_from_l1 += 1;
+                continue;
+            }
+            self.piq.push_back(line);
+        }
+
+        // Issue phase: one prefetch per cycle from the PIQ head.
+        let Some(&line) = self.piq.front() else { return };
+        let Some(pb) = fe.pb.as_deref_mut() else { return };
+        if pb.lookup(line) != PbLookup::Miss {
+            // Raced with a demand fill or duplicate: drop it.
+            self.piq.pop_front();
+            return;
+        }
+        if !pb.can_allocate() {
+            fe.stats.pb_alloc_stalls += 1;
+            return;
+        }
+        // §3.1.1: with an L0 the prefetch request is served by the L1
+        // when the line is (rarely, post-filter) found there; otherwise —
+        // and always in base FDP — by the L2 hierarchy.
+        if fe.l0.is_some() && fe.l1.probe(line) {
+            fe.copy_from_l1(line, now);
+        } else {
+            fe.request_from_l2(line, now, l2);
+        }
+        self.piq.pop_front();
+    }
+
+    fn on_redirect(&mut self) {
+        self.piq.clear();
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.piq_entries * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Next-N-line (related work §2.1) — port of the previous inlined engine.
+// ---------------------------------------------------------------------------
+
+/// Sequential prefetching: every demand line fetch enqueues the next
+/// `nlp_degree` lines; one queued candidate issues per cycle through the
+/// same probe filter and buffer as FDP.
+#[derive(Debug)]
+pub struct NextLinePrefetcher {
+    piq: VecDeque<Addr>,
+    piq_entries: usize,
+    degree: u32,
+    line_bytes: u64,
+}
+
+impl NextLinePrefetcher {
+    pub fn new(cfg: &FrontendConfig) -> Self {
+        NextLinePrefetcher {
+            piq: VecDeque::new(),
+            piq_entries: cfg.piq_entries,
+            degree: cfg.nlp_degree,
+            line_bytes: cfg.line_bytes,
+        }
+    }
+}
+
+impl InstrPrefetcher for NextLinePrefetcher {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::NextLine
+    }
+
+    fn observe_fetch(&mut self, slot: &LineSlot) {
+        // Next-N-line prefetching triggers off every demand line fetch.
+        for k in 1..=self.degree as u64 {
+            let next = slot.line + k * self.line_bytes;
+            if self.piq.len() < self.piq_entries && !self.piq.contains(&next) {
+                self.piq.push_back(next);
+            }
+        }
+    }
+
+    fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System) {
+        let Some(&line) = self.piq.front() else { return };
+        let Some(pb) = fe.pb.as_deref_mut() else { return };
+        if pb.lookup(line) != PbLookup::Miss || fe.l1.probe(line) {
+            fe.stats.filtered += 1;
+            self.piq.pop_front();
+            return;
+        }
+        let Some(pb) = fe.pb.as_deref_mut() else { return };
+        if !pb.can_allocate() {
+            fe.stats.pb_alloc_stalls += 1;
+            return;
+        }
+        fe.request_from_l2(line, now, l2);
+        self.piq.pop_front();
+    }
+
+    fn on_redirect(&mut self) {
+        self.piq.clear();
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.piq_entries * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLGP (§3.2) — port of the previous inlined engine, bit-exact.
+// ---------------------------------------------------------------------------
+
+/// Cache Line Guided Prestaging: scans CLTQ entries with **no filtering**
+/// (a prestage hit is cheaper than a multi-cycle L1 hit), pinning lines
+/// with consumers counters; at most one real prefetch per cycle.
+#[derive(Debug)]
+pub struct ClgpPrefetcher {
+    /// True under the migration *or* free-on-use ablations: the first
+    /// re-enables FDP's policy outright, the second frees the entry on
+    /// use, after which not migrating would simply lose the line.
+    migrate: bool,
+}
+
+impl ClgpPrefetcher {
+    pub fn new(cfg: &FrontendConfig) -> Self {
+        ClgpPrefetcher {
+            migrate: cfg.ablate_migrate || cfg.ablate_free_on_use,
+        }
+    }
+}
+
+impl InstrPrefetcher for ClgpPrefetcher {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::Clgp
+    }
+
+    fn migrate_used_lines(&self) -> bool {
+        // §3.2.3: evicted prestage lines are simply dropped, so pre-buffer
+        // and emergency-cache contents never duplicate (unless ablated).
+        self.migrate
+    }
+
+    fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System) {
+        // Scan up to four CLTQ entries; issue at most one real prefetch.
+        // No filtering: lines are brought to the prestage buffer even when
+        // they sit in the L1, because a prestage hit is cheaper than a
+        // multi-cycle L1 hit.
+        for _ in 0..4 {
+            let Some(pb) = fe.pb.as_deref_mut() else { return };
+            let Some(slot) = fe.queue.first_unprefetched() else {
+                return;
+            };
+            let line = slot.line;
+            if pb.lookup(line) != PbLookup::Miss {
+                // Already prestaged (or arriving): extend its lifetime.
+                pb.bump_consumers(line);
+                slot.prefetched = true;
+                fe.stats.prefetch_from_pb += 1;
+                fe.stats.consumer_bumps += 1;
+                continue;
+            }
+            // A line already one cycle away in the L0 needs no prestaging.
+            if let Some(l0) = fe.l0.as_deref_mut() {
+                if l0.probe(line) {
+                    slot.prefetched = true;
+                    fe.stats.prefetch_from_pb += 1;
+                    continue;
+                }
+            }
+            if !pb.can_allocate() {
+                // Head-of-line stall: every entry is pinned by consumers.
+                fe.stats.pb_alloc_stalls += 1;
+                return;
+            }
+            slot.prefetched = true;
+            if fe.cfg.ablate_filter && fe.l1.probe(line) {
+                // Ablated CLGP: behave like FDP's filter — leave the line
+                // to the multi-cycle L1.
+                fe.stats.filtered += 1;
+                fe.stats.prefetch_from_l1 += 1;
+                continue;
+            }
+            if fe.l1.probe(line) {
+                fe.copy_from_l1(line, now);
+            } else {
+                fe.request_from_l2(line, now, l2);
+            }
+            return; // one real prefetch per cycle
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MANA (Ansari et al.) — spatial-region records chased by a stream buffer.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ManaRecord {
+    valid: bool,
+    /// Trigger line number (line address >> line shift).
+    trigger: u64,
+    /// Spatial footprint: bit `k` set means line `trigger + 1 + k` was
+    /// fetched within the region while this record was open.
+    bitmap: u32,
+    /// Trigger of the successor record (the chain pointer).
+    next: u64,
+    lru: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SabEntry {
+    valid: bool,
+    /// Next trigger line this stream expects the fetch unit to reach.
+    expected: u64,
+    lru: u64,
+}
+
+/// MANA: a set-associative table of spatial-region records keyed by
+/// trigger line, each carrying a footprint bitmap and a successor
+/// pointer; a small stream address buffer (SAB) tracks the active record
+/// chains and chases them `mana_degree` records ahead of fetch,
+/// prestaging each record's footprint into the pre-buffer (L1-resident
+/// lines are copied over, CLGP-style — a buffer hit is cheaper than a
+/// multi-cycle L1 hit).
+#[derive(Debug)]
+pub struct ManaPrefetcher {
+    sets: usize,
+    assoc: usize,
+    table: Vec<ManaRecord>,
+    sab: Vec<SabEntry>,
+    /// Record under construction: (trigger line, footprint bitmap).
+    cur: Option<(u64, u32)>,
+    last_line: Option<u64>,
+    reqq: VecDeque<Addr>,
+    tick: u64,
+    region_lines: u32,
+    degree: u32,
+    line_shift: u32,
+}
+
+impl ManaPrefetcher {
+    pub fn new(cfg: &FrontendConfig) -> Self {
+        let assoc = cfg.mana_entries.min(4);
+        ManaPrefetcher {
+            sets: cfg.mana_entries / assoc,
+            assoc,
+            table: vec![ManaRecord::default(); cfg.mana_entries],
+            sab: vec![SabEntry::default(); cfg.mana_sab_entries],
+            cur: None,
+            last_line: None,
+            reqq: VecDeque::new(),
+            tick: 0,
+            region_lines: cfg.mana_region_lines,
+            degree: cfg.mana_degree,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn ways(&self, trigger: u64) -> std::ops::Range<usize> {
+        let set = (trigger as usize) & (self.sets - 1);
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Look up the record for `trigger`, refreshing its recency.
+    fn lookup(&mut self, trigger: u64) -> Option<ManaRecord> {
+        let ways = self.ways(trigger);
+        let stamp = self.stamp();
+        let e = self.table[ways]
+            .iter_mut()
+            .find(|e| e.valid && e.trigger == trigger)?;
+        e.lru = stamp;
+        Some(*e)
+    }
+
+    fn contains(&self, trigger: u64) -> bool {
+        let ways = self.ways(trigger);
+        self.table[ways].iter().any(|e| e.valid && e.trigger == trigger)
+    }
+
+    /// Install (or update) the record for `trigger`.
+    fn insert(&mut self, trigger: u64, bitmap: u32, next: u64) {
+        let ways = self.ways(trigger);
+        let stamp = self.stamp();
+        let slots = &mut self.table[ways];
+        let way = slots
+            .iter()
+            .position(|e| e.valid && e.trigger == trigger)
+            .or_else(|| slots.iter().position(|e| !e.valid))
+            .unwrap_or_else(|| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("assoc >= 1")
+            });
+        slots[way] = ManaRecord {
+            valid: true,
+            trigger,
+            bitmap,
+            next,
+            lru: stamp,
+        };
+    }
+
+    /// Enqueue a record's spatial footprint (without the trigger itself —
+    /// the caller prefetches or is already fetching it).
+    fn enqueue_footprint(&mut self, trigger: u64, bitmap: u32) {
+        for k in 0..self.region_lines.saturating_sub(1) {
+            if bitmap & (1 << k) != 0 {
+                enqueue(&mut self.reqq, (trigger + 1 + k as u64) << self.line_shift);
+            }
+        }
+    }
+
+    /// Chase the record chain from `from`, loading SAB entry `i` with the
+    /// expectation of where the chain leads.
+    fn chase(&mut self, i: usize, from: u64) {
+        let mut cur = from;
+        // The stream advances when fetch reaches the record *after* the
+        // one just consumed — the successor seen on the first chain step
+        // (when `from` has no record yet, keep expecting `from` itself so
+        // the stream re-anchors once a record is learned for it).
+        let mut expected = from;
+        for step in 0..self.degree.max(1) {
+            let Some(rec) = self.lookup(cur) else {
+                // Chain ran off the table.
+                break;
+            };
+            if step == 0 {
+                expected = rec.next;
+            } else {
+                // Later records' triggers are real prefetch candidates
+                // (the first trigger is the line being fetched right now).
+                enqueue(&mut self.reqq, cur << self.line_shift);
+            }
+            self.enqueue_footprint(cur, rec.bitmap);
+            cur = rec.next;
+        }
+        let stamp = self.stamp();
+        self.sab[i] = SabEntry {
+            valid: true,
+            expected,
+            lru: stamp,
+        };
+    }
+
+    fn sab_slot(&mut self) -> usize {
+        self.sab
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                self.sab
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("sab_entries >= 1")
+            })
+    }
+}
+
+impl InstrPrefetcher for ManaPrefetcher {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::Mana
+    }
+
+    fn observe_fetch(&mut self, slot: &LineSlot) {
+        let ln = slot.line >> self.line_shift;
+        if self.last_line == Some(ln) {
+            return;
+        }
+        // Train: extend the open record while the fetch stays in its
+        // region; leaving the region commits the record with the new
+        // trigger as its successor and opens the next one.
+        match self.cur {
+            None => self.cur = Some((ln, 0)),
+            Some((t, bm)) => {
+                if ln > t && ln - t < self.region_lines as u64 {
+                    self.cur = Some((t, bm | 1 << (ln - t - 1)));
+                } else {
+                    self.insert(t, bm, ln);
+                    self.cur = Some((ln, 0));
+                }
+            }
+        }
+        // Replay: advance the stream that expected this trigger, or spin
+        // up a new one when the table knows this line as a trigger.
+        if let Some(i) = self.sab.iter().position(|e| e.valid && e.expected == ln) {
+            self.chase(i, ln);
+        } else if self.contains(ln) {
+            let i = self.sab_slot();
+            self.chase(i, ln);
+        }
+        self.last_line = Some(ln);
+    }
+
+    fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System) {
+        issue_queue_head(&mut self.reqq, now, fe, l2);
+    }
+
+    fn on_redirect(&mut self) {
+        self.reqq.clear();
+        self.cur = None;
+        self.last_line = None;
+        for e in &mut self.sab {
+            e.valid = false;
+        }
+    }
+
+    fn checkpoint(&self) -> PrefetchCheckpoint {
+        let mut v = Vec::with_capacity(5 + 3 * self.sab.len());
+        match self.cur {
+            Some((t, bm)) => v.extend([1, t, bm as u64]),
+            None => v.extend([0, 0, 0]),
+        }
+        match self.last_line {
+            Some(ln) => v.extend([1, ln]),
+            None => v.extend([0, 0]),
+        }
+        for e in &self.sab {
+            v.extend([e.valid as u64, e.expected, e.lru]);
+        }
+        PrefetchCheckpoint(v)
+    }
+
+    fn restore(&mut self, cp: &PrefetchCheckpoint) {
+        let v = &cp.0;
+        debug_assert_eq!(v.len(), 5 + 3 * self.sab.len());
+        self.cur = (v[0] == 1).then(|| (v[1], v[2] as u32));
+        self.last_line = (v[3] == 1).then_some(v[4]);
+        for (i, e) in self.sab.iter_mut().enumerate() {
+            e.valid = v[5 + 3 * i] == 1;
+            e.expected = v[6 + 3 * i];
+            e.lru = v[7 + 3 * i];
+        }
+        self.reqq.clear();
+    }
+
+    fn state_bytes(&self) -> usize {
+        let bitmap_bytes = (self.region_lines as usize - 1).div_ceil(8);
+        self.table.len() * (9 + bitmap_bytes) + self.sab.len() * 8 + PREFETCH_QUEUE_CAP * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program-map traversal (Murthy & Sohi) — coarse next-region prediction.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MapEntry {
+    valid: bool,
+    /// Region number this entry describes (the direct-mapped tag).
+    region: u64,
+    /// Learned successor region.
+    next: u64,
+}
+
+/// High-level program-map traversal: a direct-mapped region-successor map
+/// over the dynamic block graph.  Entering a new `progmap_region_bytes`
+/// region records the transition and walks the map `progmap_degree`
+/// regions ahead, enqueueing every line of each predicted region.  Like
+/// MANA (and CLGP), L1-resident lines are copied into the pre-buffer
+/// rather than filtered — on instruction footprints whose hot regions fit
+/// the L1, an FDP-style filter would drop every candidate and the
+/// traversal would never hide the multi-cycle L1 hit it exists to hide.
+#[derive(Debug)]
+pub struct ProgMapPrefetcher {
+    map: Vec<MapEntry>,
+    last_region: Option<u64>,
+    reqq: VecDeque<Addr>,
+    region_shift: u32,
+    lines_per_region: u64,
+    line_bytes: u64,
+    degree: u32,
+}
+
+impl ProgMapPrefetcher {
+    pub fn new(cfg: &FrontendConfig) -> Self {
+        ProgMapPrefetcher {
+            map: vec![MapEntry::default(); cfg.progmap_entries],
+            last_region: None,
+            reqq: VecDeque::new(),
+            region_shift: cfg.progmap_region_bytes.trailing_zeros(),
+            lines_per_region: cfg.progmap_region_bytes / cfg.line_bytes,
+            line_bytes: cfg.line_bytes,
+            degree: cfg.progmap_degree,
+        }
+    }
+
+    fn idx(&self, region: u64) -> usize {
+        (region as usize) & (self.map.len() - 1)
+    }
+}
+
+impl InstrPrefetcher for ProgMapPrefetcher {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::ProgMap
+    }
+
+    fn observe_fetch(&mut self, slot: &LineSlot) {
+        let region = slot.line >> self.region_shift;
+        if self.last_region == Some(region) {
+            return;
+        }
+        // Record the observed transition (last write wins: the map tracks
+        // the current dominant control flow, not a history).
+        if let Some(last) = self.last_region {
+            let i = self.idx(last);
+            self.map[i] = MapEntry {
+                valid: true,
+                region: last,
+                next: region,
+            };
+        }
+        // Traverse ahead: enqueue every line of the next learned regions.
+        let mut r = region;
+        for _ in 0..self.degree {
+            let e = self.map[self.idx(r)];
+            if !e.valid || e.region != r || e.next == region {
+                break;
+            }
+            let base = e.next << self.region_shift;
+            for k in 0..self.lines_per_region {
+                enqueue(&mut self.reqq, base + k * self.line_bytes);
+            }
+            r = e.next;
+        }
+        self.last_region = Some(region);
+    }
+
+    fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System) {
+        issue_queue_head(&mut self.reqq, now, fe, l2);
+    }
+
+    fn on_redirect(&mut self) {
+        self.reqq.clear();
+        self.last_region = None;
+    }
+
+    fn checkpoint(&self) -> PrefetchCheckpoint {
+        PrefetchCheckpoint(match self.last_region {
+            Some(r) => vec![1, r],
+            None => vec![0, 0],
+        })
+    }
+
+    fn restore(&mut self, cp: &PrefetchCheckpoint) {
+        debug_assert_eq!(cp.0.len(), 2);
+        self.last_region = (cp.0[0] == 1).then_some(cp.0[1]);
+        self.reqq.clear();
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.map.len() * 8 + PREFETCH_QUEUE_CAP * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(line: Addr) -> LineSlot {
+        LineSlot {
+            block_seq: 0,
+            line,
+            first_pc: line,
+            n_insts: 16,
+            prefetched: false,
+            last_of_block: true,
+        }
+    }
+
+    fn mana_cfg() -> FrontendConfig {
+        let mut cfg = FrontendConfig::base(prestage_cacti::TechNode::T045, 4 << 10);
+        cfg.prefetcher = PrefetcherKind::Mana;
+        cfg.pb_entries = 4;
+        cfg
+    }
+
+    #[test]
+    fn mana_learns_records_and_chases_them() {
+        let mut m = ManaPrefetcher::new(&mana_cfg());
+        // First pass over a loop body: trigger 0x100, touches +1 and +3,
+        // then jumps to trigger 0x200.
+        for ln in [0x100u64, 0x101, 0x103, 0x200, 0x201, 0x100] {
+            m.observe_fetch(&slot(ln << 6));
+        }
+        // Region record for 0x100 committed when fetch left for 0x200.
+        let rec = m.lookup(0x100).expect("record learned");
+        assert_eq!(rec.bitmap, 0b101, "footprint bits for +1 and +3");
+        assert_eq!(rec.next, 0x200);
+        // The second visit to 0x100 hit the table and chased the chain:
+        // the footprint lines (and the successor record's) are queued.
+        assert!(
+            m.reqq.contains(&(0x101 << 6)) && m.reqq.contains(&(0x103 << 6)),
+            "footprint queued: {:?}",
+            m.reqq
+        );
+        assert!(
+            m.reqq.contains(&(0x200 << 6)),
+            "chained successor trigger queued: {:?}",
+            m.reqq
+        );
+    }
+
+    #[test]
+    fn mana_checkpoint_round_trips_speculative_state() {
+        let mut m = ManaPrefetcher::new(&mana_cfg());
+        for ln in [0x10u64, 0x11, 0x40, 0x10] {
+            m.observe_fetch(&slot(ln << 6));
+        }
+        let cp = m.checkpoint();
+        let (cur, last) = (m.cur, m.last_line);
+        let sab: Vec<(bool, u64)> = m.sab.iter().map(|e| (e.valid, e.expected)).collect();
+        // Wrong path: observe garbage, then restore.
+        for ln in [0x900u64, 0x905, 0x77] {
+            m.observe_fetch(&slot(ln << 6));
+        }
+        assert_ne!(m.last_line, last);
+        m.on_redirect();
+        m.restore(&cp);
+        assert_eq!(m.cur, cur);
+        assert_eq!(m.last_line, last);
+        let sab2: Vec<(bool, u64)> = m.sab.iter().map(|e| (e.valid, e.expected)).collect();
+        assert_eq!(sab2, sab);
+        assert!(m.reqq.is_empty(), "restore must not resurrect queued requests");
+    }
+
+    #[test]
+    fn progmap_learns_region_transitions_and_traverses() {
+        let mut cfg = FrontendConfig::base(prestage_cacti::TechNode::T045, 4 << 10);
+        cfg.prefetcher = PrefetcherKind::ProgMap;
+        cfg.pb_entries = 4;
+        let mut p = ProgMapPrefetcher::new(&cfg);
+        // Regions are 256 B = 4 lines.  Walk A(0x1000) → B(0x2000) →
+        // C(0x3000), then return to A: the map now chains A→B→C.
+        for pc in [0x1000u64, 0x2000, 0x3000, 0x1000] {
+            p.observe_fetch(&slot(pc));
+        }
+        // Re-entering A traverses: all 4 lines of B and (degree 2) of C.
+        for k in 0..4u64 {
+            assert!(p.reqq.contains(&(0x2000 + k * 64)), "B line {k}: {:?}", p.reqq);
+            assert!(p.reqq.contains(&(0x3000 + k * 64)), "C line {k}: {:?}", p.reqq);
+        }
+        // Same-region refetches are not transitions.
+        let before = p.reqq.len();
+        p.observe_fetch(&slot(0x1040));
+        assert_eq!(p.reqq.len(), before);
+    }
+
+    #[test]
+    fn registry_builds_every_kind_and_sizes_it() {
+        for kind in PrefetcherKind::all() {
+            let mut cfg = FrontendConfig::base(prestage_cacti::TechNode::T090, 4 << 10);
+            cfg.prefetcher = kind;
+            cfg.pb_entries = 8;
+            let pf = build_prefetcher(&cfg);
+            assert_eq!(pf.is_none(), kind == PrefetcherKind::None);
+            if let Some(pf) = pf {
+                assert_eq!(pf.kind(), kind);
+                assert_eq!(pf.state_bytes(), prefetcher_state_bytes(&cfg));
+            }
+        }
+    }
+
+    #[test]
+    fn prefetcher_ids_round_trip() {
+        for kind in PrefetcherKind::all() {
+            assert_eq!(PrefetcherKind::from_id(kind.id()), Some(kind));
+            assert_eq!(PrefetcherKind::from_id(&kind.id().to_uppercase()), Some(kind));
+        }
+        assert_eq!(PrefetcherKind::from_id("nonesuch"), None);
+    }
+}

@@ -178,6 +178,28 @@ impl SimConfig {
         self.measure_insts = measure;
         self
     }
+
+    /// Override the front-end prefetch mechanism (the `ExperimentSpec`
+    /// `prefetcher` field): the preset keeps its storage shape, only the
+    /// engine driving the pre-buffer changes.  Presets without a
+    /// pre-buffer (base/ideal) get the node's single-cycle buffer so the
+    /// mechanism has somewhere to land lines.
+    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.frontend.prefetcher = kind;
+        if kind != PrefetcherKind::None && self.frontend.pb_entries == 0 {
+            self.frontend.pb_entries =
+                FrontendConfig::one_cycle_buffer_lines(self.frontend.tech);
+        }
+        self
+    }
+
+    /// Check every sizing invariant the simulator's storage structures
+    /// assume (power-of-two, mask-indexed tables), naming the offending
+    /// field.  Spec consumers call this before construction so a bad size
+    /// is an error, not a panic deep inside a cache array.
+    pub fn validate(&self) -> Result<(), String> {
+        self.frontend.validate()
+    }
 }
 
 #[cfg(test)]

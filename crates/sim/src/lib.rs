@@ -33,6 +33,7 @@ pub mod stats;
 pub use backend::{BackEnd, BackendConfig, BackendStats};
 pub use config::{ConfigPreset, SimConfig};
 pub use engine::{Engine, PredictorKind};
+pub use prestage_core::PrefetcherKind;
 pub use runner::{
     default_threads, live_source, pool_map, pool_threads, run_cells, run_cells_full,
     run_cells_sourced, run_cells_with_threads, run_config_over, run_grid, run_one, CellGrid,

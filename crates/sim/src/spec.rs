@@ -28,6 +28,7 @@
 
 use crate::config::{ConfigPreset, SimConfig};
 use crate::engine::PredictorKind;
+use prestage_core::PrefetcherKind;
 use crate::runner::{
     default_threads, run_cells_full, run_cells_sourced, CellGrid, CellResult, GridResult,
     SweepCell,
@@ -57,9 +58,11 @@ pub const L1_SIZES: [usize; 9] = [
 ];
 
 /// Schema version of every JSON artifact this module writes.  Schema 2
-/// added the `trace` field; schema-1 spec files (which predate it) still
-/// parse, with `trace` defaulting to live generation.
-pub const SPEC_SCHEMA: u64 = 2;
+/// added the `trace` field; schema 3 added the `prefetcher` mechanism
+/// override.  Spec files of earlier schemas still parse, with the fields
+/// they predate defaulting (`trace` → live generation, `prefetcher` →
+/// each preset's own mechanism).
+pub const SPEC_SCHEMA: u64 = 3;
 
 /// Run-ahead slack `prestage trace record` captures beyond
 /// `warmup + measure`: the decoupled front-end pulls streams ahead of
@@ -147,6 +150,14 @@ pub struct ExperimentSpec {
     /// `Some` replays pre-recorded traces from disk (one per benchmark,
     /// shared by all cells that need it — record once, replay everywhere).
     pub trace: Option<TraceSource>,
+    /// Prefetch-mechanism override: `None` leaves each preset its own
+    /// engine (FDP presets run FDP, CLGP presets run CLGP); `Some(kind)`
+    /// swaps the mechanism under every preset — the spec-field delivery
+    /// path for the MANA / program-map comparisons (`"mana"`,
+    /// `"progmap"`, or any other [`PrefetcherKind`] id).  Experiment
+    /// identity: it changes results, so shards produced under different
+    /// prefetcher ids refuse to merge.
+    pub prefetcher: Option<PrefetcherKind>,
 }
 
 impl Default for ExperimentSpec {
@@ -165,6 +176,7 @@ impl Default for ExperimentSpec {
             threads: None,
             predictor: PredictorKind::Stream,
             trace: None,
+            prefetcher: None,
         }
     }
 }
@@ -276,6 +288,23 @@ impl ExperimentSpec {
             }
             if *s < 64 {
                 return Err(format!("L1 size {s} is smaller than one 64B line"));
+            }
+            if !s.is_power_of_two() {
+                return Err(format!(
+                    "l1_sizes entry {s} is not a power of two — cache sets \
+                     are mask-indexed and a non-power-of-two capacity would \
+                     silently alias addresses"
+                ));
+            }
+        }
+        // Every (preset, size) cell's derived configuration must satisfy
+        // the storage-sizing invariants (mask-indexed prefetcher tables
+        // included) *before* anything is constructed.
+        for &p in &self.presets {
+            for &l1 in &self.l1_sizes {
+                self.sim_config(p, l1)
+                    .validate()
+                    .map_err(|e| format!("preset {:?} at L1 {l1}: {e}", p.id()))?;
             }
         }
         if self.measure_insts == 0 {
@@ -497,9 +526,16 @@ impl ExperimentSpec {
     }
 
     /// The full simulator configuration for one (preset, L1 size) grid
-    /// point of this spec.
+    /// point of this spec: the preset's shape, the spec's run lengths,
+    /// and — when the spec carries a `prefetcher` override — the swapped
+    /// prefetch mechanism.
     pub fn sim_config(&self, preset: ConfigPreset, l1: usize) -> SimConfig {
-        SimConfig::preset(preset, self.tech, l1).with_insts(self.warmup_insts, self.measure_insts)
+        let cfg = SimConfig::preset(preset, self.tech, l1)
+            .with_insts(self.warmup_insts, self.measure_insts);
+        match self.prefetcher {
+            Some(kind) => cfg.with_prefetcher(kind),
+            None => cfg,
+        }
     }
 
     /// Resolved pool width.
@@ -526,6 +562,7 @@ impl ExperimentSpec {
             threads,
             predictor,
             trace,
+            prefetcher,
         } = self;
         Json::obj([
             ("schema", SPEC_SCHEMA.into()),
@@ -560,6 +597,13 @@ impl ExperimentSpec {
                     Some(t) => Json::obj([("dir", t.dir.as_str().into())]),
                 },
             ),
+            (
+                "prefetcher",
+                match prefetcher {
+                    None => Json::Null,
+                    Some(k) => k.id().into(),
+                },
+            ),
         ])
     }
 
@@ -575,7 +619,7 @@ impl ExperimentSpec {
         let keys = v
             .keys()
             .ok_or_else(|| "spec must be a JSON object".to_string())?;
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 13] = [
             "schema",
             "presets",
             "tech",
@@ -588,6 +632,7 @@ impl ExperimentSpec {
             "threads",
             "predictor",
             "trace",
+            "prefetcher",
         ];
         let schema = v
             .get("schema")
@@ -598,10 +643,15 @@ impl ExperimentSpec {
                 "spec schema {schema} not supported (this build reads schemas 1..={SPEC_SCHEMA})"
             ));
         }
-        // `trace` arrived with schema 2; a schema-1 file both may and must
-        // omit it (strictness per schema: no field is ever silently
+        // `trace` arrived with schema 2 and `prefetcher` with schema 3; a
+        // file of an earlier schema both may and must omit the later
+        // fields (strictness per schema: no field is ever silently
         // ignored, none is silently defaulted within its own schema).
-        let known: &[&str] = if schema == 1 { &KNOWN[..11] } else { &KNOWN };
+        let known: &[&str] = match schema {
+            1 => &KNOWN[..11],
+            2 => &KNOWN[..12],
+            _ => &KNOWN,
+        };
         for k in &keys {
             if !known.contains(k) {
                 return Err(format!(
@@ -700,6 +750,25 @@ impl ExperimentSpec {
                 })
             }
         };
+        // An unknown mechanism id must abort listing the valid set — a
+        // typo'd `"prefetcher": "mnaa"` silently falling back to the
+        // preset default would measure the wrong mechanism.
+        let prefetcher = match v.get("prefetcher") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let id = p
+                    .as_str()
+                    .ok_or("prefetcher must be null or a mechanism id string")?;
+                Some(PrefetcherKind::from_id(id).ok_or_else(|| {
+                    let valid: Vec<&str> =
+                        PrefetcherKind::all().iter().map(|k| k.id()).collect();
+                    format!(
+                        "unknown prefetcher {id:?}; valid ids: {}",
+                        valid.join(", ")
+                    )
+                })?)
+            }
+        };
         Ok(ExperimentSpec {
             presets,
             tech,
@@ -712,6 +781,7 @@ impl ExperimentSpec {
             threads,
             predictor,
             trace,
+            prefetcher,
         })
     }
 
@@ -1273,6 +1343,7 @@ mod tests {
             threads: Some(2),
             predictor: PredictorKind::Stream,
             trace: None,
+            prefetcher: None,
         }
     }
 
@@ -1293,7 +1364,15 @@ mod tests {
             }),
             ..tiny_spec()
         };
-        for spec in [ExperimentSpec::default(), tiny_spec(), replaying] {
+        let mana = ExperimentSpec {
+            prefetcher: Some(PrefetcherKind::Mana),
+            ..tiny_spec()
+        };
+        let progmap = ExperimentSpec {
+            prefetcher: Some(PrefetcherKind::ProgMap),
+            ..tiny_spec()
+        };
+        for spec in [ExperimentSpec::default(), tiny_spec(), replaying, mana, progmap] {
             let text = spec.to_json();
             let back = ExperimentSpec::from_json(&text).unwrap();
             assert_eq!(back, spec);
@@ -1339,7 +1418,7 @@ mod tests {
         let e = ExperimentSpec::from_json(&good.replace("warmup_insts", "warmupinsts"))
             .unwrap_err();
         assert!(e.contains("unknown spec field"), "{e}");
-        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 2", "\"schema\": 99"))
+        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 3", "\"schema\": 99"))
             .unwrap_err();
         assert!(e.contains("schema 99"), "{e}");
         let e = ExperimentSpec::from_json(&good.replace("\"clgp+l0\"", "\"clgp+l9\""))
@@ -1358,21 +1437,96 @@ mod tests {
     }
 
     #[test]
-    fn schema_1_specs_still_parse_with_live_generation() {
-        // A pre-trace spec file (schema 1, no trace field) keeps working...
-        let mut old = tiny_spec().to_json().replace("\"schema\": 2", "\"schema\": 1");
-        let cut = old.find(",\n  \"trace\": null").unwrap();
-        old.replace_range(cut..cut + ",\n  \"trace\": null".len(), "");
-        let spec = ExperimentSpec::from_json(&old).unwrap();
-        assert_eq!(spec.trace, None);
-        assert_eq!(spec, tiny_spec());
-        // ...but a schema-1 file *claiming* a trace field is a field from
-        // the future, rejected rather than half-understood.
+    fn unknown_prefetcher_id_aborts_listing_the_valid_set() {
+        let good = tiny_spec().to_json();
         let e = ExperimentSpec::from_json(
-            &tiny_spec().to_json().replace("\"schema\": 2", "\"schema\": 1"),
+            &good.replace("\"prefetcher\": null", "\"prefetcher\": \"mnaa\""),
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown prefetcher \"mnaa\""), "{e}");
+        for id in ["none", "nextline", "fdp", "clgp", "mana", "progmap"] {
+            assert!(e.contains(id), "error must list {id:?}: {e}");
+        }
+        // Non-string values are loud too.
+        let e = ExperimentSpec::from_json(
+            &good.replace("\"prefetcher\": null", "\"prefetcher\": 7"),
+        )
+        .unwrap_err();
+        assert!(e.contains("prefetcher must be null"), "{e}");
+    }
+
+    /// Cut `,\n  "<field>": null` out of a serialized spec (for building
+    /// earlier-schema fixtures).
+    fn cut_field(text: &str, field: &str) -> String {
+        let mut out = text.to_string();
+        let needle = format!(",\n  \"{field}\": null");
+        let cut = out.find(&needle).unwrap();
+        out.replace_range(cut..cut + needle.len(), "");
+        out
+    }
+
+    #[test]
+    fn schema_1_and_2_specs_still_parse_with_their_defaults() {
+        // A pre-trace spec file (schema 1, no trace/prefetcher) keeps
+        // working, and a schema-2 file (trace, no prefetcher) too...
+        let v3 = tiny_spec().to_json();
+        let v1 = cut_field(
+            &cut_field(&v3.replace("\"schema\": 3", "\"schema\": 1"), "trace"),
+            "prefetcher",
+        );
+        let spec = ExperimentSpec::from_json(&v1).unwrap();
+        assert_eq!(spec, tiny_spec());
+        let v2 = cut_field(&v3.replace("\"schema\": 3", "\"schema\": 2"), "prefetcher");
+        let spec = ExperimentSpec::from_json(&v2).unwrap();
+        assert_eq!(spec, tiny_spec());
+        // ...but an earlier-schema file *claiming* a later field carries a
+        // field from the future, rejected rather than half-understood.
+        let e = ExperimentSpec::from_json(
+            &cut_field(&v3.replace("\"schema\": 3", "\"schema\": 1"), "prefetcher"),
         )
         .unwrap_err();
         assert!(e.contains("unknown spec field \"trace\""), "{e}");
+        let e = ExperimentSpec::from_json(&v3.replace("\"schema\": 3", "\"schema\": 2"))
+            .unwrap_err();
+        assert!(e.contains("unknown spec field \"prefetcher\""), "{e}");
+    }
+
+    #[test]
+    fn non_pow2_l1_sizes_are_rejected_by_name() {
+        // Regression: a 1536-byte L1 used to validate, then panic inside
+        // the cache array (whose sets are mask-indexed) when the first
+        // cell ran; now the spec itself refuses, naming the field.
+        let mut s = tiny_spec();
+        s.l1_sizes = vec![1536];
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("l1_sizes entry 1536"), "{e}");
+        assert!(e.contains("power of two"), "{e}");
+    }
+
+    #[test]
+    fn prefetcher_override_reshapes_the_sim_config() {
+        for (id, kind) in [("mana", PrefetcherKind::Mana), ("progmap", PrefetcherKind::ProgMap)]
+        {
+            let spec = ExperimentSpec {
+                prefetcher: Some(kind),
+                ..tiny_spec()
+            };
+            spec.validate().unwrap_or_else(|e| panic!("{id}: {e}"));
+            // Presets with a pre-buffer swap mechanisms in place...
+            let cfg = spec.sim_config(ConfigPreset::ClgpL0, 4 << 10);
+            assert_eq!(cfg.frontend.prefetcher, kind);
+            assert!(cfg.frontend.pb_entries > 0);
+            // ...and bufferless presets gain the node's one-cycle buffer.
+            let cfg = spec.sim_config(ConfigPreset::Base, 4 << 10);
+            assert_eq!(cfg.frontend.prefetcher, kind);
+            assert_eq!(
+                cfg.frontend.pb_entries,
+                prestage_core::FrontendConfig::one_cycle_buffer_lines(spec.tech)
+            );
+        }
+        // No override: the preset keeps its own mechanism.
+        let cfg = tiny_spec().sim_config(ConfigPreset::ClgpL0, 4 << 10);
+        assert_eq!(cfg.frontend.prefetcher, PrefetcherKind::Clgp);
     }
 
     #[test]

@@ -332,6 +332,10 @@ fn cmd_list() {
     for n in prestage_cacti::TechNode::all() {
         println!("  {:<5} {}", n.id(), n.label());
     }
+    println!("\n# prefetcher mechanisms (spec \"prefetcher\"; null = preset default)");
+    for k in prestage_core::PrefetcherKind::all() {
+        println!("  {:<9} {}", k.id(), k.label());
+    }
     println!("\n# benchmarks (spec \"bench\" entries; null = all)");
     println!("  {:<10} {:>8} {:>7} {:>8}", "name", "code KB", "funcs", "data KB");
     for p in specint2000() {

@@ -114,6 +114,105 @@ fn merge_refuses_incomplete_or_overlapping_coverage() {
     );
 }
 
+/// The acceptance property for the pluggable mechanisms, proven on the
+/// real binary: a spec carrying `"prefetcher": "mana"` (and `"progmap"`)
+/// shards across two processes and merges back byte-identically to the
+/// single-process run.
+#[test]
+fn mechanism_specs_shard_and_merge_byte_identically() {
+    let base = std::fs::read_to_string(spec_file()).unwrap();
+    for id in ["mana", "progmap"] {
+        let dir = TempDir::new(&format!("mech_{id}"));
+        let spec = dir.path("spec.json");
+        std::fs::write(
+            &spec,
+            base.replace("\"prefetcher\": null", &format!("\"prefetcher\": \"{id}\"")),
+        )
+        .unwrap();
+        let a = dir.path("a.json");
+        let b = dir.path("b.json");
+        let merged = dir.path("merged.json");
+        let full = dir.path("full.json");
+        assert_ok(
+            &prestage(&["shard", "--spec", &spec, "--cells", "0..3", "--out", &a]),
+            &format!("{id} shard A"),
+        );
+        assert_ok(
+            &prestage(&["shard", "--spec", &spec, "--cells", "3..8", "--out", &b]),
+            &format!("{id} shard B"),
+        );
+        assert_ok(&prestage(&["merge", &b, &a, "--out", &merged]), &format!("{id} merge"));
+        assert_ok(&prestage(&["run", &spec, "--out", &full]), &format!("{id} run"));
+        let merged_bytes = std::fs::read(&merged).unwrap();
+        let full_bytes = std::fs::read(&full).unwrap();
+        assert!(!merged_bytes.is_empty());
+        assert_eq!(
+            merged_bytes, full_bytes,
+            "{id}: merged shard output differs from the single-process run"
+        );
+        // And the artifact embeds the mechanism (experiment identity).
+        assert!(
+            String::from_utf8_lossy(&full_bytes).contains(&format!("\"prefetcher\": \"{id}\"")),
+            "{id}: artifact spec lost the prefetcher field"
+        );
+    }
+}
+
+/// Shards produced under different prefetcher ids describe different
+/// experiments: merging them must be refused, like any other spec
+/// mismatch.
+#[test]
+fn merge_refuses_shards_from_different_prefetchers() {
+    let dir = TempDir::new("mixed_prefetcher");
+    let base = std::fs::read_to_string(spec_file()).unwrap();
+    let mana_spec = dir.path("mana.json");
+    std::fs::write(
+        &mana_spec,
+        base.replace("\"prefetcher\": null", "\"prefetcher\": \"mana\""),
+    )
+    .unwrap();
+    let a = dir.path("a.json");
+    let b = dir.path("b.json");
+    let spec = spec_file();
+    assert_ok(
+        &prestage(&["shard", "--spec", spec.to_str().unwrap(), "--cells", "0..3", "--out", &a]),
+        "default shard",
+    );
+    assert_ok(
+        &prestage(&["shard", "--spec", &mana_spec, "--cells", "3..8", "--out", &b]),
+        "mana shard",
+    );
+    let out = prestage(&["merge", &a, &b]);
+    assert!(
+        !out.status.success(),
+        "merging shards of different prefetchers must fail"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different spec"),
+        "refusal should name the spec mismatch"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_prefetcher_ids_listing_the_valid_set() {
+    let dir = TempDir::new("bad_prefetcher");
+    let bad = dir.path("bad.json");
+    let text = std::fs::read_to_string(spec_file())
+        .unwrap()
+        .replace("\"prefetcher\": null", "\"prefetcher\": \"mnaa\"");
+    std::fs::write(&bad, text).unwrap();
+    let out = prestage(&["run", &bad]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown prefetcher \"mnaa\"")
+            && stderr.contains("mana")
+            && stderr.contains("progmap")
+            && stderr.contains("clgp"),
+        "stderr must name the typo and the valid mechanism ids: {stderr}"
+    );
+}
+
 #[test]
 fn cli_surfaces_spec_errors_loudly() {
     let dir = TempDir::new("bad_spec");

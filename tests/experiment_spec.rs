@@ -6,7 +6,8 @@
 use prestage_bench::figures;
 use prestage_cacti::TechNode;
 use prestage_sim::{
-    try_run_spec, ConfigPreset, Engine, ExperimentSpec, PredictorKind, TraceSource, L1_SIZES,
+    try_run_spec, ConfigPreset, Engine, ExperimentSpec, PredictorKind, PrefetcherKind,
+    TraceSource, L1_SIZES,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -79,6 +80,12 @@ fn random_spec(seed: u64) -> ExperimentSpec {
             Some(TraceSource {
                 dir: dirs[rng.gen_range(0..dirs.len())].to_string(),
             })
+        },
+        prefetcher: if rng.gen_bool(0.5) {
+            None
+        } else {
+            let kinds = PrefetcherKind::all();
+            Some(kinds[rng.gen_range(0..kinds.len())])
         },
     }
 }

@@ -129,6 +129,59 @@ fn run_cells_is_invariant_under_thread_count_and_shuffle() {
 }
 
 #[test]
+fn mechanism_axis_is_bit_exact_under_threads_and_sharding() {
+    // Per-mechanism determinism: for every `PrefetcherKind` (the spec's
+    // `prefetcher` axis — including MANA and the program map), cell
+    // evaluation is bit-exact under any thread count, and a sharded run
+    // merges to exactly the whole-grid result.
+    let workloads = tiny_workloads(2);
+    let grid = CellGrid::new(
+        vec![ConfigPreset::Base, ConfigPreset::FdpL0],
+        TechNode::T045,
+        vec![1 << 10, 4 << 10],
+        workloads.len(),
+        7,
+    );
+    let cells = grid.cells();
+    for kind in PrefetcherKind::all() {
+        let configure =
+            |c: &SweepCell| c.config().with_insts(1_000, 5_000).with_prefetcher(kind);
+        let reference = run_cells_with_threads(&cells, &workloads, configure, 1);
+        for threads in [2, 5] {
+            let got = run_cells_with_threads(&cells, &workloads, configure, threads);
+            for (a, b) in got.iter().zip(&reference) {
+                assert_stats_eq(a, b, &format!("{kind:?} threads={threads}"));
+            }
+        }
+        // Shard split + merge equals the single-pass grid.
+        let (left, right) = cells.split_at(3);
+        let mut shards = run_cells_with_threads(left, &workloads, configure, 2);
+        shards.extend(run_cells_with_threads(right, &workloads, configure, 2));
+        let merged = grid.merge(shards, &workloads);
+        let whole = grid.merge(reference, &workloads);
+        for (row_a, row_b) in merged.iter().zip(&whole) {
+            for (a, b) in row_a.iter().zip(row_b) {
+                for ((n1, s1), (n2, s2)) in a.per_bench.iter().zip(&b.per_bench) {
+                    assert_eq!(n1, n2, "{kind:?}");
+                    assert_eq!(s1, s2, "{kind:?}: sharded merge diverged for {n1}");
+                }
+            }
+        }
+        // The prefetching mechanisms must actually prefetch on this grid
+        // (a silently-inert mechanism would pass every determinism check).
+        if kind != PrefetcherKind::None {
+            let issued: u64 = whole
+                .iter()
+                .flatten()
+                .flat_map(|r| r.per_bench.iter())
+                .map(|(_, s)| s.front.prefetches_issued)
+                .sum();
+            assert!(issued > 0, "{kind:?} never issued a prefetch");
+        }
+    }
+}
+
+#[test]
 fn whole_flattened_grid_matches_serial_engine_runs() {
     // The determinism the figures depend on, for a full multi-row grid —
     // not just one config row: every cell of the parallel flattened sweep

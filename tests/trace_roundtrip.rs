@@ -13,11 +13,13 @@
 //!   format *or* the trace generator is caught at review time.
 
 use prestage_sim::{
-    grid_output, try_run_spec, ConfigPreset, ExperimentSpec, TraceSource,
+    grid_output, try_run_spec, try_run_spec_over, ConfigPreset, ExperimentSpec, PrefetcherKind,
+    TraceSource,
 };
+use prestage_sim::{run_cells_sourced, CellGrid};
 use prestage_workload::{
-    build, by_name, read_trace, record_trace, specint2000, write_trace, InstSource,
-    TraceGenerator, TraceReader, TraceReplayer,
+    build, by_name, read_trace, record_trace, replay_file_trusted, specint2000, write_trace,
+    InstSource, TraceGenerator, TraceReader, TraceReplayer,
 };
 use proptest::prelude::*;
 use std::io::{BufWriter, Cursor};
@@ -142,6 +144,83 @@ proptest! {
             grid_output(&live, &live_rows),
             grid_output(&replay, &replay_rows)
         );
+    }
+}
+
+/// The mechanism axis of replay parity: for every `PrefetcherKind` —
+/// including the MANA and program-map mechanisms — a live run, a spec
+/// replay (the shared in-memory decode path), and an explicit streamed
+/// file replay (the over-budget fallback path) produce bit-identical
+/// `GridResult`s, every counter of every cell.  One recording serves all
+/// mechanisms: the committed path is mechanism-independent.
+#[test]
+fn every_mechanism_replays_bit_identically_to_live() {
+    let dir = TempDir::new("mech");
+    let base = ExperimentSpec {
+        presets: vec![ConfigPreset::Base, ConfigPreset::ClgpL0],
+        l1_sizes: vec![2 << 10],
+        bench: Some(vec!["twolf".to_string()]),
+        warmup_insts: 1_000,
+        measure_insts: 3_000,
+        workload_seed: 11,
+        exec_seed: 13,
+        threads: Some(2),
+        ..ExperimentSpec::default()
+    };
+    let workloads = base.build_workloads().unwrap();
+    let replaying = ExperimentSpec {
+        trace: Some(TraceSource {
+            dir: dir.0.to_string_lossy().into_owned(),
+        }),
+        ..base.clone()
+    };
+    let path = replaying.trace_paths().unwrap().unwrap().remove(0);
+    let f = std::fs::File::create(&path).unwrap();
+    record_trace(
+        BufWriter::new(f),
+        &workloads[0],
+        base.exec_seed,
+        base.trace_record_insts(),
+        2048,
+    )
+    .unwrap();
+
+    for kind in PrefetcherKind::all() {
+        let live = ExperimentSpec {
+            prefetcher: Some(kind),
+            ..base.clone()
+        };
+        let shared = ExperimentSpec {
+            prefetcher: Some(kind),
+            ..replaying.clone()
+        };
+        let live_rows = try_run_spec_over(&live, &workloads).unwrap();
+        // Spec replay: the traces are small, so this exercises the shared
+        // in-memory `SharedReplayer` path.
+        let shared_rows = try_run_spec_over(&shared, &workloads).unwrap();
+        for (lr, rr) in live_rows.iter().flatten().zip(shared_rows.iter().flatten()) {
+            assert_eq!(lr.per_bench, rr.per_bench, "{kind:?}: shared replay diverged");
+        }
+        assert_eq!(
+            grid_output(&live, &live_rows),
+            grid_output(&shared, &shared_rows),
+            "{kind:?}: replayed artifact bytes diverged"
+        );
+        // Streamed replay, forced explicitly (the path a trace over the
+        // in-memory budget takes): one trusted file stream per cell.
+        let grid = CellGrid::from_spec(&shared).unwrap();
+        let results = run_cells_sourced(
+            &grid.cells(),
+            &workloads,
+            |c| shared.sim_config(c.preset, c.l1),
+            2,
+            shared.predictor,
+            |_c, _w| Box::new(replay_file_trusted(&path).unwrap()),
+        );
+        let streamed_rows = grid.merge(results, &workloads);
+        for (lr, rr) in live_rows.iter().flatten().zip(streamed_rows.iter().flatten()) {
+            assert_eq!(lr.per_bench, rr.per_bench, "{kind:?}: streamed replay diverged");
+        }
     }
 }
 

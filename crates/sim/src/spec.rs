@@ -310,6 +310,15 @@ impl ExperimentSpec {
         if self.measure_insts == 0 {
             return Err("measure_insts must be at least 1".into());
         }
+        // Found by the fuzz harness: the replay-length check sums the two
+        // run lengths, so a spec whose sum wraps u64 would panic (debug) or
+        // silently under-demand trace instructions (release).
+        if self.warmup_insts.checked_add(self.measure_insts).is_none() {
+            return Err(format!(
+                "warmup_insts {} + measure_insts {} overflows u64 — no run is that long",
+                self.warmup_insts, self.measure_insts
+            ));
+        }
         if self.threads == Some(0) {
             return Err("threads must be at least 1 (or null for auto)".into());
         }
@@ -387,7 +396,10 @@ impl ExperimentSpec {
                 self.exec_seed
             ));
         }
-        let needed = self.warmup_insts + self.measure_insts;
+        // Saturating: validate() rejects overflowing run lengths, but this
+        // path is also reachable via `resolve_traces` on an unvalidated
+        // spec and must not panic on hostile input.
+        let needed = self.warmup_insts.saturating_add(self.measure_insts);
         if h.count < needed {
             return Err(format!(
                 "trace {} holds {} instructions but the spec runs {needed} \
@@ -1258,16 +1270,30 @@ impl ShardFile {
             .ok_or("shard file has no results array")?
             .iter()
             .map(|r| {
+                let secs = r.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0);
+                // Found by the fuzz harness: Duration::from_secs_f64
+                // panics on negative or over-range input, so a hostile
+                // wall_s crashed the merge instead of being refused.
+                if secs.is_nan() || secs < 0.0 || secs >= u64::MAX as f64 {
+                    return Err(format!(
+                        "result wall_s {secs} is not a representable duration"
+                    ));
+                }
                 Ok(CellResult {
                     cell: cell_from_json(r.get("cell").ok_or("result has no cell")?)?,
                     stats: stats_from_json(r.get("stats").ok_or("result has no stats")?)?,
-                    wall: Duration::from_secs_f64(
-                        r.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
-                    ),
+                    wall: Duration::from_secs_f64(secs),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
-        if results.len() != end.saturating_sub(start) {
+        // Found by the fuzz harness: with a saturating count an *inverted*
+        // range (start > end) plus an empty results array parsed clean.
+        if start > end {
+            return Err(format!(
+                "shard cell range is inverted: cells.start {start} > cells.end {end}"
+            ));
+        }
+        if results.len() != end - start {
             return Err(format!(
                 "shard claims cells {start}..{end} but carries {} results",
                 results.len()
@@ -1824,6 +1850,55 @@ mod tests {
         // A shard that lost a result line must not parse.
         let broken = text.replacen("\"end\": 3", "\"end\": 4", 1);
         assert!(ShardFile::from_json(&broken).unwrap_err().contains("carries"));
+    }
+
+    #[test]
+    fn fuzz_regression_inverted_shard_range_is_rejected_by_name() {
+        // Fuzzer crasher (checked in as fuzz/regressions/shard/
+        // inverted-range.json): start 5 > end 2 with an empty results
+        // array sneaked past the saturating count check and parsed clean.
+        let text = format!(
+            "{{\n  \"schema\": {SPEC_SCHEMA},\n  \"spec\": {},\n  \
+             \"cells\": {{\"start\": 5, \"end\": 2}},\n  \"results\": []\n}}",
+            tiny_spec().to_json_value().render()
+        );
+        let e = ShardFile::from_json(&text).unwrap_err();
+        assert!(e.contains("inverted"), "{e}");
+        assert!(e.contains("cells.start 5") && e.contains("cells.end 2"), "{e}");
+    }
+
+    #[test]
+    fn fuzz_regression_overflowing_run_length_is_rejected_by_name() {
+        // Fuzzer crasher (checked in as fuzz/regressions/spec/
+        // warmup-measure-overflow.json): warmup + measure wrapping u64
+        // validated clean, then panicked (debug) inside the replay length
+        // check.
+        let mut s = tiny_spec();
+        s.warmup_insts = u64::MAX;
+        s.measure_insts = 2;
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("warmup_insts") && e.contains("measure_insts"), "{e}");
+        assert!(e.contains("overflows"), "{e}");
+        // And the trace vet itself stays total even without validate().
+        assert!(s.trace_record_insts() == u64::MAX);
+    }
+
+    #[test]
+    fn fuzz_regression_hostile_wall_s_is_rejected_by_name() {
+        // Fuzzer crasher (checked in as fuzz/regressions/shard/
+        // negative-wall.json): Duration::from_secs_f64 panics on negative
+        // or over-range seconds, so "wall_s": -1.5 (or 1e300) crashed the
+        // shard loader instead of being refused.
+        let spec = tiny_spec().to_json_value().render();
+        for bad in ["-1.5", "1e300"] {
+            let text = format!(
+                "{{\n  \"schema\": {SPEC_SCHEMA},\n  \"spec\": {spec},\n  \
+                 \"cells\": {{\"start\": 0, \"end\": 1}},\n  \"results\": \
+                 [{{\"cell\": null, \"stats\": null, \"wall_s\": {bad}}}]\n}}"
+            );
+            let e = ShardFile::from_json(&text).unwrap_err();
+            assert!(e.contains("wall_s"), "wall_s {bad}: {e}");
+        }
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! One-shot generator for the checked-in corpus and regression inputs.
+//! Run from the repo root: `cargo run -p prestage-fuzz --example _gen_corpus`.
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let corpus = root.join("corpus");
+    let regressions = root.join("regressions");
+    for t in ["json", "spec", "trace", "shard"] {
+        fs::create_dir_all(corpus.join(t)).unwrap();
+    }
+    fs::create_dir_all(regressions.join("spec")).unwrap();
+    fs::create_dir_all(regressions.join("shard")).unwrap();
+
+    // Corpus: the repo's real spec files seed both the json and spec targets.
+    let specs_dir = root.parent().unwrap().join("specs");
+    for entry in fs::read_dir(&specs_dir).unwrap() {
+        let path = entry.unwrap().path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => {
+                let name = path.file_name().unwrap();
+                fs::copy(&path, corpus.join("json").join(name)).unwrap();
+                fs::copy(&path, corpus.join("spec").join(name)).unwrap();
+            }
+            Some("pstr") => {
+                let name = path.file_name().unwrap();
+                fs::copy(&path, corpus.join("trace").join(name)).unwrap();
+            }
+            _ => {}
+        }
+    }
+
+    // Tiny generated traces: one v2 (chunked + CRCs) and one v1 (flat).
+    let w = prestage_fuzz::targets::tiny_workload();
+    let mut v2 = std::io::Cursor::new(Vec::new());
+    prestage_workload::record_trace(&mut v2, &w, 3, 600, 64).unwrap();
+    fs::write(corpus.join("trace/tiny-v2.pstr"), v2.into_inner()).unwrap();
+    let insts: Vec<_> = prestage_workload::TraceGenerator::new(&w, 3).take_insts(120);
+    let mut v1 = Vec::new();
+    prestage_workload::write_trace(&mut v1, &insts).unwrap();
+    fs::write(corpus.join("trace/tiny-v1.pstr"), v1).unwrap();
+
+    // A real one-cell shard so the shard target's pool holds a document
+    // with populated stats, not just the empty built-in.
+    let spec = prestage_fuzz::targets::tiny_spec();
+    let grid = prestage_sim::CellGrid::from_spec(&spec).unwrap();
+    let cells = grid.cells();
+    let results = prestage_sim::run_spec_cells(&spec, &cells[..1]).unwrap();
+    let shard = prestage_sim::ShardFile {
+        spec: spec.clone(),
+        start: 0,
+        end: 1,
+        results,
+    };
+    fs::write(corpus.join("shard/one-cell.json"), shard.to_json()).unwrap();
+
+    // Regressions: the minimized crashers behind the named unit tests.
+    let spec_json = {
+        let v = spec.to_json_value();
+        v.render()
+    };
+    fs::write(
+        regressions.join("shard/inverted-range.json"),
+        format!(
+            "{{\"schema\": 3, \"spec\": {spec_json}, \
+             \"cells\": {{\"start\": 5, \"end\": 2}}, \"results\": []}}"
+        ),
+    )
+    .unwrap();
+    fs::write(
+        regressions.join("shard/negative-wall.json"),
+        format!(
+            "{{\"schema\": 3, \"spec\": {spec_json}, \
+             \"cells\": {{\"start\": 0, \"end\": 1}}, \"results\": \
+             [{{\"cell\": null, \"stats\": null, \"wall_s\": -1.5}}]}}"
+        ),
+    )
+    .unwrap();
+    let mut overflow = spec.clone();
+    overflow.warmup_insts = u64::MAX;
+    overflow.measure_insts = 2;
+    fs::write(
+        regressions.join("spec/warmup-measure-overflow.json"),
+        overflow.to_json(),
+    )
+    .unwrap();
+
+    println!("corpus + regressions written under {}", root.display());
+}

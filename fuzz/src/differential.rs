@@ -1,0 +1,340 @@
+//! The differential driver: random small experiments, checked against the
+//! workspace's core equivalence claims.
+//!
+//! Each generated [`ExperimentSpec`] is run three ways — live in-process,
+//! sharded through the serialized [`ShardFile`] wire format and merged,
+//! and replayed from a freshly recorded trace — and the three canonical
+//! grid artifacts must be **byte-identical**.  Alongside, two standing
+//! claims get their own properties: all six prefetch mechanisms are
+//! bit-identical when the pre-buffer is disabled by config (a disabled
+//! mechanism must be *absent*, not merely quiet), and schema-1/2 spec
+//! files upgrade to the same canonical schema-3 JSON as their modern
+//! equivalents.
+//!
+//! Determinism: every choice comes from one [`SmallRng`] stream, so a
+//! `(n_specs, seed)` pair replays the exact same campaign; any failure
+//! message embeds the full spec JSON so it can be re-run by hand.
+
+use prestage_cacti::TechNode;
+use prestage_core::PrefetcherKind;
+use prestage_json::Json;
+use prestage_sim::{
+    grid_output, run_spec_cells, try_run_spec, CellGrid, CellResult, ConfigPreset, Engine,
+    ExperimentSpec, PredictorKind, ShardFile, SimConfig, TraceSource,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Outcome of one differential campaign.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Random specs that went through the live/shard/replay/upgrade gauntlet.
+    pub specs: u64,
+    /// Disabled-prefetch mechanism-equivalence configurations checked.
+    pub mechanism_checks: u64,
+    /// Human-readable property violations (empty on a clean run).
+    pub failures: Vec<String>,
+}
+
+/// Benchmarks small enough to keep a fuzz-sized run sub-second; the
+/// differential properties are about plumbing, not workload breadth.
+const BENCHES: &[&str] = &["gzip", "mcf", "crafty"];
+
+/// Draw a random *valid* small spec: 1–2 presets, 1–2 L1 sizes, one
+/// benchmark, short run lengths.  Trace and prefetcher stay `None` — the
+/// replay property installs the trace itself, and `None` is what makes
+/// the schema-1 downgrade meaning-preserving.
+fn random_small_spec(rng: &mut SmallRng) -> ExperimentSpec {
+    let all_presets = ConfigPreset::all();
+    let techs = [TechNode::T180, TechNode::T130, TechNode::T090, TechNode::T065, TechNode::T045];
+    let sizes = [256usize, 1 << 10, 4 << 10, 16 << 10];
+    for _ in 0..20 {
+        let n_presets = rng.gen_range(1..=2usize);
+        let mut presets = Vec::new();
+        while presets.len() < n_presets {
+            let p = all_presets[rng.gen_range(0..all_presets.len())];
+            if !presets.contains(&p) {
+                presets.push(p);
+            }
+        }
+        let n_sizes = rng.gen_range(1..=2usize);
+        let mut l1_sizes = Vec::new();
+        while l1_sizes.len() < n_sizes {
+            let s = sizes[rng.gen_range(0..sizes.len())];
+            if !l1_sizes.contains(&s) {
+                l1_sizes.push(s);
+            }
+        }
+        let spec = ExperimentSpec {
+            presets,
+            tech: techs[rng.gen_range(0..techs.len())],
+            l1_sizes,
+            bench: Some(vec![BENCHES[rng.gen_range(0..BENCHES.len())].to_string()]),
+            warmup_insts: rng.gen_range(200..=1_200u64),
+            measure_insts: rng.gen_range(500..=3_500u64),
+            workload_seed: rng.gen_range(1..=1_000u64),
+            exec_seed: rng.gen_range(1..=1_000u64),
+            threads: Some(rng.gen_range(1..=3usize)),
+            predictor: if rng.gen_bool(0.5) {
+                PredictorKind::Stream
+            } else {
+                PredictorKind::Gshare
+            },
+            trace: None,
+            prefetcher: None,
+        };
+        if spec.validate().is_ok() {
+            return spec;
+        }
+    }
+    // The axes above are all individually valid, so 20 draws without a
+    // valid combination means the generator and validator have diverged.
+    panic!("random_small_spec cannot draw a valid spec");
+}
+
+/// Run `f` with panics captured as property failures (the differential
+/// laws lean on `merge_named`'s internal assertions, which panic).
+fn guarded<T>(what: &str, spec_json: &str, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    panic::set_hook(hook);
+    match result {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(format!("{what}: {e}\n  spec: {spec_json}")),
+        Err(p) => Err(format!(
+            "{what}: panic: {}\n  spec: {spec_json}",
+            crate::panic_message(&*p)
+        )),
+    }
+}
+
+/// Property A — **live == shard/merge == replay**, byte-identical.
+///
+/// * The shard leg splits the cell list at a random point, evaluates the
+///   halves in *reverse* order, serializes each half through the
+///   [`ShardFile`] wire format (parse-of-render, like a real multi-host
+///   run), and merges.
+/// * The replay leg records the benchmark's trace to a scratch directory
+///   and re-runs the spec with `trace` pointing at it.
+fn check_spec_equivalence(
+    spec: &ExperimentSpec,
+    rng: &mut SmallRng,
+    scratch: &PathBuf,
+) -> Result<(), String> {
+    let spec_json = spec.to_json();
+
+    let live = guarded("live run", &spec_json, || {
+        try_run_spec(spec).map(|rows| grid_output(spec, &rows))
+    })?;
+
+    // Shard leg.
+    let sharded = guarded("shard/merge run", &spec_json, || {
+        let grid = CellGrid::from_spec(spec)?;
+        let cells = grid.cells();
+        let split = rng.gen_range(0..=cells.len());
+        let mut results: Vec<CellResult> = Vec::new();
+        // Back half first: merge order must not matter.
+        for half in [&cells[split..], &cells[..split]] {
+            if half.is_empty() {
+                continue;
+            }
+            let start = if half.as_ptr() == cells.as_ptr() { 0 } else { split };
+            let shard = ShardFile {
+                spec: spec.clone(),
+                start,
+                end: start + half.len(),
+                results: run_spec_cells(spec, half)?,
+            };
+            // Through the wire format, exactly as `prestage merge` sees it.
+            let back = ShardFile::from_json(&shard.to_json())?;
+            results.extend(back.results);
+        }
+        let names = spec.bench_names()?;
+        let rows = grid.merge_named(results, &names);
+        Ok(grid_output(spec, &rows))
+    })?;
+    if sharded != live {
+        return Err(format!(
+            "shard/merge output differs from the live run\n  spec: {spec_json}"
+        ));
+    }
+
+    // Replay leg.
+    let replayed = guarded("replay run", &spec_json, || {
+        std::fs::create_dir_all(scratch).map_err(|e| e.to_string())?;
+        for name in spec.bench_names()? {
+            let profile = prestage_workload::by_name(name).ok_or("unknown benchmark")?;
+            let w = prestage_workload::build(&profile, spec.workload_seed);
+            let path = scratch.join(TraceSource::file_name(
+                name,
+                spec.workload_seed,
+                spec.exec_seed,
+            ));
+            let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+            prestage_workload::record_trace(
+                std::io::BufWriter::new(file),
+                &w,
+                spec.exec_seed,
+                spec.trace_record_insts(),
+                256,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        let replay_spec = ExperimentSpec {
+            trace: Some(TraceSource {
+                dir: scratch.display().to_string(),
+            }),
+            ..spec.clone()
+        };
+        try_run_spec(&replay_spec).map(|rows| grid_output(&replay_spec, &rows))
+    })?;
+    if replayed != live {
+        return Err(format!(
+            "trace-replay output differs from the live run\n  spec: {spec_json}"
+        ));
+    }
+    Ok(())
+}
+
+/// Property B — with the pre-buffer disabled by config (`pb_entries = 0`),
+/// all six mechanisms must produce bit-identical stats: a mechanism with
+/// no buffer to fill must be indistinguishable from `None`.
+fn check_disabled_mechanisms(rng: &mut SmallRng) -> Result<(), String> {
+    let bench = BENCHES[rng.gen_range(0..BENCHES.len())];
+    let mut profile = prestage_workload::by_name(bench).expect("known benchmark");
+    profile.i_footprint_kb = profile.i_footprint_kb.min(4);
+    profile.n_funcs = profile.n_funcs.min(8);
+    let w = prestage_workload::build(&profile, rng.gen_range(1..=1_000u64));
+
+    let presets = ConfigPreset::all();
+    let preset = presets[rng.gen_range(0..presets.len())];
+    let techs = [TechNode::T090, TechNode::T045];
+    let tech = techs[rng.gen_range(0..techs.len())];
+    let l1 = [1 << 10, 4 << 10][rng.gen_range(0..2usize)];
+    let exec_seed = rng.gen_range(1..=1_000u64);
+
+    let mut baseline = None;
+    for kind in PrefetcherKind::all() {
+        let mut cfg = SimConfig::preset(preset, tech, l1).with_insts(500, 2_000);
+        cfg.frontend.pb_entries = 0;
+        cfg.frontend.prefetcher = kind;
+        let stats = Engine::new(cfg, &w, exec_seed).run();
+        match &baseline {
+            None => baseline = Some((kind, stats)),
+            Some((k0, s0)) => {
+                if stats != *s0 {
+                    return Err(format!(
+                        "disabled-prefetch divergence: {kind:?} != {k0:?} \
+                         ({bench}, {preset:?}, {tech:?}, L1 {l1}B, exec seed {exec_seed})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Property C — a schema-1 or schema-2 rendering of a spec (fields the
+/// old schemas lacked stripped, schema number rewritten) must upgrade to
+/// the *same* canonical schema-3 JSON as the modern spec.
+fn check_schema_upgrade(spec: &ExperimentSpec) -> Result<(), String> {
+    let canon = spec.to_json();
+    for (schema, dropped) in [(1i128, &["trace", "prefetcher"][..]), (2, &["prefetcher"][..])] {
+        let Json::Obj(pairs) = spec.to_json_value() else {
+            return Err("spec JSON is not an object".into());
+        };
+        let old = Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| !dropped.contains(&k.as_str()))
+                .map(|(k, v)| {
+                    if k == "schema" {
+                        (k, Json::Int(schema))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        );
+        let upgraded = ExperimentSpec::from_json(&old.render())
+            .map_err(|e| format!("schema-{schema} downgrade does not parse: {e}"))?;
+        if upgraded.to_json() != canon {
+            return Err(format!(
+                "schema-{schema} spec upgrades to different canonical JSON\n  spec: {canon}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full differential campaign: `n_specs` random specs through
+/// properties A and C, and one property-B configuration per spec.
+/// `log` receives one progress line per spec (the CLI's live ticker).
+pub fn run_differential(
+    n_specs: u64,
+    seed: u64,
+    mut log: impl FnMut(&str),
+) -> DiffReport {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF_D1FF);
+    let mut report = DiffReport {
+        specs: 0,
+        mechanism_checks: 0,
+        failures: Vec::new(),
+    };
+    let scratch = std::env::temp_dir().join(format!(
+        "prestage-fuzz-diff-{}-{seed:x}",
+        std::process::id()
+    ));
+    for i in 0..n_specs {
+        let spec = random_small_spec(&mut rng);
+        report.specs += 1;
+        if let Err(e) = check_spec_equivalence(&spec, &mut rng, &scratch) {
+            report.failures.push(e);
+        }
+        if let Err(e) = check_schema_upgrade(&spec) {
+            report.failures.push(e);
+        }
+        if let Err(e) = check_disabled_mechanisms(&mut rng) {
+            report.failures.push(e);
+        }
+        report.mechanism_checks += 1;
+        log(&format!(
+            "spec {}/{n_specs}: {} failure(s) so far",
+            i + 1,
+            report.failures.len()
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_specs_are_deterministic_and_valid() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..25 {
+            let sa = random_small_spec(&mut a);
+            let sb = random_small_spec(&mut b);
+            assert_eq!(sa, sb);
+            sa.validate().expect("generator only emits valid specs");
+        }
+    }
+
+    #[test]
+    fn schema_upgrade_holds_for_the_default_spec() {
+        check_schema_upgrade(&ExperimentSpec::default()).unwrap();
+    }
+
+    #[test]
+    fn disabled_mechanisms_agree_once() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        check_disabled_mechanisms(&mut rng).unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! The deterministic structure-aware mutation engine.
+//!
+//! Classic byte-fuzzer moves (bit flips, truncation, splices) plus
+//! format-aware ones: interesting little-endian integers written at
+//! aligned-ish offsets (trace length fields), and token insertion drawn
+//! from the grammar of the three wire formats (JSON punctuation and spec
+//! field names, the `PSTR` magic, hostile numerics).  Everything draws
+//! from one caller-owned [`SmallRng`], so a campaign is a pure function
+//! of its seed.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Upper bound on mutated inputs (see [`crate::MAX_INPUT`]).
+pub const MAX_INPUT: usize = 1 << 16;
+
+/// Little-endian integers worth writing over length/count fields: format
+/// bounds (24/32-byte records, 2^20-record chunks, the 256-byte profile
+/// cap) and the classic overflow sentinels.
+const INTERESTING: [u64; 14] = [
+    0,
+    1,
+    2,
+    23,
+    24,
+    32,
+    255,
+    256,
+    257,
+    4096,
+    (1 << 20) as u64,
+    (1 << 20) + 1,
+    u32::MAX as u64,
+    u64::MAX,
+];
+
+/// Grammar fragments of the three wire formats (and a few hostile
+/// numerics no format should accept).
+const TOKENS: &[&[u8]] = &[
+    b"PSTR",
+    b"\x02\x00\x00\x00",
+    b"\"schema\": 1",
+    b"\"schema\": 99",
+    b"\"prefetcher\": \"mana\"",
+    b"\"trace\": {\"dir\": \"\"}",
+    b"\"warmup_insts\": 18446744073709551615",
+    b"\"wall_s\": -1.5",
+    b"null",
+    b"-",
+    b"1e309",
+    b"5.",
+    b"00",
+    b"18446744073709551616",
+    b"[[[[[[[[[[[[[[[[[[[[",
+    b"{\"\":",
+    b"\\u0000",
+    b"\\ud800",
+    b",",
+    b"}",
+    b"\xff\xff\xff\xff\xff\xff\xff\xff",
+];
+
+/// Produce one mutated input: clone a pool entry, stack 1–4 mutations,
+/// clamp to [`MAX_INPUT`].
+pub fn mutate(rng: &mut SmallRng, pool: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = pool[rng.gen_range(0..pool.len())].clone();
+    let n = rng.gen_range(1..=4u32);
+    for _ in 0..n {
+        apply_one(rng, &mut buf, pool);
+    }
+    buf.truncate(MAX_INPUT);
+    buf
+}
+
+fn rand_byte(rng: &mut SmallRng) -> u8 {
+    rng.gen_range(0..=255u32) as u8
+}
+
+fn apply_one(rng: &mut SmallRng, buf: &mut Vec<u8>, pool: &[Vec<u8>]) {
+    if buf.is_empty() {
+        // Nothing to mutate in place: grow from a token or a byte.
+        if rng.gen_bool(0.5) {
+            buf.extend_from_slice(TOKENS[rng.gen_range(0..TOKENS.len())]);
+        } else {
+            buf.push(rand_byte(rng));
+        }
+        return;
+    }
+    let len = buf.len();
+    match rng.gen_range(0..9u32) {
+        // Flip one bit.
+        0 => {
+            let i = rng.gen_range(0..len);
+            buf[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        // Overwrite one byte.
+        1 => {
+            let i = rng.gen_range(0..len);
+            buf[i] = rand_byte(rng);
+        }
+        // Truncate (mid-record / mid-document cuts).
+        2 => {
+            buf.truncate(rng.gen_range(0..len));
+        }
+        // Remove a short range.
+        3 => {
+            let i = rng.gen_range(0..len);
+            let j = (i + 1 + rng.gen_range(0..16usize)).min(len);
+            buf.drain(i..j);
+        }
+        // Insert a few random bytes.
+        4 => {
+            let at = rng.gen_range(0..=len);
+            let n = 1 + rng.gen_range(0..8usize);
+            let tail: Vec<u8> = buf.split_off(at);
+            for _ in 0..n {
+                let b = rand_byte(rng);
+                buf.push(b);
+            }
+            buf.extend_from_slice(&tail);
+        }
+        // Duplicate an internal slice elsewhere (repeated keys, repeated
+        // chunks).
+        5 => {
+            let i = rng.gen_range(0..len);
+            let j = (i + 1 + rng.gen_range(0..64usize)).min(len);
+            let slice = buf[i..j].to_vec();
+            let at = rng.gen_range(0..=len);
+            let tail: Vec<u8> = buf.split_off(at);
+            buf.extend_from_slice(&slice);
+            buf.extend_from_slice(&tail);
+        }
+        // Splice with another pool entry (cross-document chimeras).
+        6 => {
+            let other = &pool[rng.gen_range(0..pool.len())];
+            if !other.is_empty() {
+                let keep = rng.gen_range(0..=len);
+                let from = rng.gen_range(0..other.len());
+                buf.truncate(keep);
+                buf.extend_from_slice(&other[from..]);
+            }
+        }
+        // Write an interesting little-endian integer over a field-sized
+        // window.
+        7 => {
+            let width = [1usize, 2, 4, 8][rng.gen_range(0..4usize)];
+            if len >= width {
+                let i = rng.gen_range(0..=len - width);
+                let v = INTERESTING[rng.gen_range(0..INTERESTING.len())];
+                buf[i..i + width].copy_from_slice(&v.to_le_bytes()[..width]);
+            }
+        }
+        // Insert a grammar token.
+        _ => {
+            let t = TOKENS[rng.gen_range(0..TOKENS.len())];
+            let at = rng.gen_range(0..=len);
+            let tail: Vec<u8> = buf.split_off(at);
+            buf.extend_from_slice(t);
+            buf.extend_from_slice(&tail);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! prestage trace record <spec.json | figure> --out <dir>
 //! prestage trace info   <trace.pstr>
 //! prestage spec  <figure> [--out <file>]
+//! prestage fuzz  [--budget <N>] [--seed <S>] [--corpus <dir>] [--crashes <dir>]
 //! prestage list
 //! ```
 //!
@@ -52,6 +53,7 @@ fn usage() -> ! {
          prestage trace record <spec.json | figure> --out <dir>\n  \
          prestage trace info   <trace.pstr>\n  \
          prestage spec  <figure> [--out <file>]\n  \
+         prestage fuzz  [--budget <N>] [--seed <S>] [--corpus <dir>] [--crashes <dir>]\n  \
          prestage list\n\n\
          A figure name (see `prestage list`) runs its declared spec with the\n\
          PRESTAGE_* environment overrides applied; a spec file runs verbatim.\n\
@@ -202,6 +204,48 @@ fn cmd_merge(mut args: Vec<String>) {
     }
     let grid = CellGrid::from_spec(&spec).unwrap_or_else(|e| fail(&e));
     let names = spec.bench_names().unwrap_or_else(|e| fail(&e));
+    // Refuse malformed shard sets by name before handing results to
+    // merge_named (whose own duplicate/missing checks can only panic with
+    // flat cell positions, not file names).
+    let n_cells = grid.n_cells();
+    let mut ranges: Vec<(usize, usize, &str)> = shards
+        .iter()
+        .map(|(p, s)| (s.start, s.end, p.as_str()))
+        .collect();
+    ranges.sort();
+    let mut next = 0usize;
+    let mut widest: Option<(usize, usize, &str)> = None;
+    for &(start, end, path) in &ranges {
+        if end > n_cells {
+            fail(&format!(
+                "{path} covers cells {start}..{end}, but the grid has only {n_cells} cells"
+            ));
+        }
+        // Sorted by start, so any start inside the furthest coverage so
+        // far means two shards claim the same cells (duplicates included).
+        if let Some((wstart, wend, wpath)) = widest {
+            if start < wend && start < end {
+                fail(&format!(
+                    "{wpath} (cells {wstart}..{wend}) and {path} (cells {start}..{end}) \
+                     overlap — refusing to merge"
+                ));
+            }
+        }
+        if start > next {
+            fail(&format!(
+                "no shard covers cells {next}..{start} — refusing to merge a partial grid"
+            ));
+        }
+        next = next.max(end);
+        if widest.is_none_or(|(_, wend, _)| end > wend) {
+            widest = Some((start, end, path));
+        }
+    }
+    if next < n_cells {
+        fail(&format!(
+            "no shard covers cells {next}..{n_cells} — refusing to merge a partial grid"
+        ));
+    }
     let results: Vec<_> = shards.into_iter().flat_map(|(_, s)| s.results).collect();
     // merge_named fails loudly on duplicate or missing cells — a sharded
     // run that lost a cell must not ship a partial figure.
@@ -346,6 +390,84 @@ fn cmd_list() {
     }
 }
 
+/// `prestage fuzz` — the deterministic fuzz + differential conformance
+/// harness (see `fuzz/`), bounded by `--budget` so CI can run it on every
+/// push.  A fixed `--seed` (default [`prestage_fuzz::DEFAULT_SEED`])
+/// replays the exact same campaign; exits non-zero on any crash,
+/// error-convention violation, or differential mismatch.
+fn cmd_fuzz(mut args: Vec<String>) {
+    let parse_u64 = |key: &str, v: String| -> u64 {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("{key} wants an unsigned integer, got {v:?}")))
+    };
+    let budget = take_flag(&mut args, "--budget").map_or(2_000, |v| parse_u64("--budget", v));
+    let seed = take_flag(&mut args, "--seed")
+        .map_or(prestage_fuzz::DEFAULT_SEED, |v| parse_u64("--seed", v));
+    let corpus = take_flag(&mut args, "--corpus")
+        .map_or_else(prestage_fuzz::default_corpus_root, std::path::PathBuf::from);
+    let crashes_dir = take_flag(&mut args, "--crashes");
+    if !args.is_empty() {
+        usage();
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut broken = false;
+    for r in prestage_fuzz::run_byte_fuzzers(budget, seed, &corpus) {
+        eprintln!(
+            "  fuzz {:<6} {} execs: {} accepted, {} rejected, {} crash(es)",
+            r.target,
+            r.executions,
+            r.accepted,
+            r.rejected,
+            r.crashes.len()
+        );
+        for c in &r.crashes {
+            broken = true;
+            eprintln!("    CRASH [{}]: {}", c.target, c.message);
+            if let Some(dir) = &crashes_dir {
+                let dir = Path::new(dir).join(c.target);
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+                let path = dir.join(prestage_fuzz::input_tag(&c.input));
+                std::fs::write(&path, &c.input)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+                eprintln!("    crasher input saved to {}", path.display());
+            }
+        }
+    }
+
+    // ≥ 100 differential specs at any budget; more when the budget allows.
+    let n_specs = (budget / 20).max(100);
+    let mut done = 0u64;
+    let diff = prestage_fuzz::differential::run_differential(n_specs, seed, |_| {
+        done += 1;
+        if done.is_multiple_of(25) {
+            eprintln!("  differential: {done}/{n_specs} spec(s) checked");
+        }
+    });
+    eprintln!(
+        "  differential: {} spec(s) live==shard==replay + schema upgrade, \
+         {} disabled-prefetch six-way check(s), {} failure(s)",
+        diff.specs,
+        diff.mechanism_checks,
+        diff.failures.len()
+    );
+    for f in &diff.failures {
+        broken = true;
+        eprintln!("    FAIL: {f}");
+    }
+
+    eprintln!(
+        "fuzz: budget {budget}, seed {seed:#x}, {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if broken {
+        eprintln!("fuzz: FAILURES FOUND — minimize the inputs above and check them in under fuzz/regressions/");
+        exit(1);
+    }
+    eprintln!("fuzz: clean");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -358,6 +480,7 @@ fn main() {
         "merge" => cmd_merge(args),
         "trace" => cmd_trace(args),
         "spec" => cmd_spec(args),
+        "fuzz" => cmd_fuzz(args),
         "list" => cmd_list(),
         _ => usage(),
     }

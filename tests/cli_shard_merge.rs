@@ -114,6 +114,84 @@ fn merge_refuses_incomplete_or_overlapping_coverage() {
     );
 }
 
+/// Malformed shard *sets* are refused by name — the stderr must identify
+/// the offending files and cell ranges, not die in a merge panic.
+#[test]
+fn merge_names_the_offending_shards_and_ranges() {
+    let dir = TempDir::new("named_refusals");
+    let spec = spec_file();
+    let spec = spec.to_str().unwrap();
+    let a = dir.path("a.json");
+    let c = dir.path("c.json");
+    assert_ok(
+        &prestage(&["shard", "--spec", spec, "--cells", "0..3", "--out", &a]),
+        "shard A",
+    );
+    assert_ok(
+        &prestage(&["shard", "--spec", spec, "--cells", "2..8", "--out", &c]),
+        "shard C",
+    );
+
+    // Overlap: cells 2..3 are claimed twice; both files and ranges named.
+    let out = prestage(&["merge", &a, &c]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("overlap") && stderr.contains("0..3") && stderr.contains("2..8"),
+        "overlap refusal must name both ranges: {stderr}"
+    );
+
+    // Duplicate shards are just total overlap; same named refusal.
+    let out = prestage(&["merge", &a, &a]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("overlap"),
+        "duplicate-shard refusal should name the overlap"
+    );
+
+    // Coverage gap: the missing cell range is named.
+    let out = prestage(&["merge", &a]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no shard covers cells 3..8"),
+        "gap refusal must name the uncovered range: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A shard whose range runs past the grid: named with the grid size.
+    let oob = dir.path("oob.json");
+    let text = std::fs::read_to_string(&a).unwrap();
+    std::fs::write(
+        &oob,
+        text.replace("\"start\": 0", "\"start\": 6").replace("\"end\": 3", "\"end\": 9"),
+    )
+    .unwrap();
+    let out = prestage(&["merge", &oob]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("the grid has only 8 cells"),
+        "out-of-range refusal must name the grid size: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An inverted cell range is refused by the shard loader itself
+    // (fuzz-harness regression: it used to parse clean).
+    let inv = dir.path("inverted.json");
+    let text = std::fs::read_to_string(&a).unwrap();
+    std::fs::write(
+        &inv,
+        text.replace("\"start\": 0", "\"start\": 5").replace("\"end\": 3", "\"end\": 2"),
+    )
+    .unwrap();
+    let out = prestage(&["merge", &inv]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("inverted") && stderr.contains("inverted.json"),
+        "inverted-range refusal must name the file and defect: {stderr}"
+    );
+}
+
 /// The acceptance property for the pluggable mechanisms, proven on the
 /// real binary: a spec carrying `"prefetcher": "mana"` (and `"progmap"`)
 /// shards across two processes and merges back byte-identically to the

@@ -456,6 +456,66 @@ fn hostile_header_counts_cannot_drive_preallocation() {
     assert!(msg.contains("header CRC mismatch"), "{msg}");
 }
 
+/// Oversized *length fields* presented with internally-consistent framing
+/// (CRCs recomputed where the check order would otherwise mask them):
+/// each must be refused by its own named bound, never acted on.
+#[test]
+fn oversized_length_fields_are_rejected_by_name() {
+    use prestage_workload::trace_io::crc32;
+    let (bytes, hlen) = fixture_bytes();
+
+    // A v2 header whose chunk size exceeds the format cap, CRC *valid* —
+    // the bound itself must refuse it, not the checksum.
+    let rebuild_header = |chunk_insts: u32| -> Vec<u8> {
+        let mut h = bytes[..hlen - 8].to_vec(); // up to count inclusive
+        h.extend_from_slice(&chunk_insts.to_le_bytes());
+        let crc = crc32(&h);
+        h.extend_from_slice(&crc.to_le_bytes());
+        h.extend_from_slice(&bytes[hlen..]);
+        h
+    };
+    for huge in [(1u32 << 20) + 1, u32::MAX] {
+        let msg = read_trace(&rebuild_header(huge)[..]).unwrap_err().to_string();
+        assert!(
+            msg.contains(&format!("chunk size {huge} outside")),
+            "chunk_insts {huge}: {msg}"
+        );
+    }
+
+    // A profile length beyond the 256-byte cap: refused before any
+    // attempt to read (or allocate) that many name bytes.
+    let mut hand = Vec::new();
+    hand.extend_from_slice(b"PSTR");
+    hand.extend_from_slice(&2u32.to_le_bytes());
+    hand.extend_from_slice(&300u16.to_le_bytes());
+    hand.extend_from_slice(&[b'x'; 64]);
+    let msg = read_trace(&hand[..]).unwrap_err().to_string();
+    assert!(msg.contains("profile length 300 exceeds"), "{msg}");
+
+    // A chunk payload length of u32::MAX over a real header: the
+    // per-record bounds (24-32 bytes each) refuse it before any buffer is
+    // sized from it.
+    let plen_off = hlen + 4;
+    let mut bad = bytes.clone();
+    bad[plen_off..plen_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let msg = read_trace(&bad[..]).unwrap_err().to_string();
+    assert!(
+        msg.contains(&format!("chunk 0 payload length {}", u32::MAX)),
+        "{msg}"
+    );
+
+    // A v1 record count just above the actual body: the reader streams
+    // and dies on the missing bytes, never preallocating from the claim.
+    let w = mini_workload(2, 5);
+    let insts = TraceGenerator::new(&w, 5).take_insts(64);
+    let mut v1 = Vec::new();
+    write_trace(&mut v1, &insts).unwrap();
+    let count_off = 8;
+    v1[count_off..count_off + 8].copy_from_slice(&(insts.len() as u64 + 1).to_le_bytes());
+    let e = read_trace(&v1[..]).unwrap_err();
+    assert!(e.to_string().contains("truncated"), "{e}");
+}
+
 // ---------------------------------------------------------------------------
 // Golden fixture.
 // ---------------------------------------------------------------------------

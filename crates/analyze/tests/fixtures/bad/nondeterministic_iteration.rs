@@ -1,0 +1,12 @@
+//! The HashMap-order bug class: iteration order leaking into merged
+//! statistics, breaking live == shard/merge == replay bit-exactness.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn merge_counts(per_block: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    per_block.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+pub fn touched_lines(lines: &[u64]) -> HashSet<u64> {
+    lines.iter().copied().collect()
+}

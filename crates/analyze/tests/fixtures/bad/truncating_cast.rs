@@ -1,0 +1,11 @@
+//! Minimized reproduction of the PR 5 predictor-table bug: a stream
+//! length clamped through `as u16` silently truncated long streams and
+//! aliased predictor entries.
+
+pub fn record_stream(len: u64) -> u16 {
+    len as u16
+}
+
+pub fn fold_index(x: u64, mask: u64) -> u32 {
+    ((x >> 2) & mask) as u32
+}

@@ -1,0 +1,18 @@
+//! Minimized reproduction of the PR 6 bug: `warmup_insts + measure_insts`
+//! wrapped in release builds when a spec asked for absurd run lengths,
+//! silently shortening the measured window.
+
+pub struct RunLengths {
+    pub warmup_insts: u64,
+    pub measure_insts: u64,
+}
+
+impl RunLengths {
+    pub fn total(&self) -> u64 {
+        self.warmup_insts + self.measure_insts
+    }
+
+    pub fn scaled(&self, reps: u64) -> u64 {
+        self.measure_insts * reps
+    }
+}

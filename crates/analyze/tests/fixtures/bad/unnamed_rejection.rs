@@ -1,0 +1,9 @@
+//! Rejections in parse/validate paths that name nothing: the fuzzer can
+//! only catch these dynamically, one input at a time.
+
+pub fn validate(count: u64, limit: u64) {
+    assert!(count <= limit, "bad input");
+    if count == 0 {
+        panic!("invalid");
+    }
+}

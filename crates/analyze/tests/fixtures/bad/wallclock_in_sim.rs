@@ -1,0 +1,15 @@
+//! Wall-clock state inside simulation code: anything derived from the
+//! host clock poisons bit-exact replay.
+
+use std::time::{Instant, SystemTime};
+
+pub fn seed_from_clock() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+pub fn adaptive_budget(start: Instant) -> bool {
+    start.elapsed().as_millis() < 100
+}

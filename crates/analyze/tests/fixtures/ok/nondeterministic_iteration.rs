@@ -1,0 +1,13 @@
+//! Clean counterpart: ordered maps where order can reach output, and a
+//! pragma'd keyed-only HashMap with the proof written down.
+
+use std::collections::BTreeMap;
+
+pub fn merge_counts(per_block: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    per_block.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+pub struct VisitCounters {
+    // prestage: allow(nondeterministic-iteration, accessed only via entry() with a full key and never iterated — no order to leak)
+    pub visits: std::collections::HashMap<u64, u32>,
+}

@@ -1,0 +1,15 @@
+//! Clean counterpart: narrowing through `try_from` with a named
+//! rejection, widening casts, and a pragma'd intentional fold.
+
+pub fn record_stream(len: u64) -> Result<u16, String> {
+    u16::try_from(len).map_err(|_| format!("stream length {len} overflows the u16 table field"))
+}
+
+pub fn widen(x: u16) -> u64 {
+    x as u64
+}
+
+pub fn fold_tag(x: u64) -> u32 {
+    // prestage: allow(truncating-cast, hash fold: collapsing to 32 bits is the point)
+    ((x >> 2) ^ (x >> 33)) as u32
+}

@@ -1,0 +1,19 @@
+//! Clean counterpart: instruction-count arithmetic goes through the
+//! checked/saturating forms and rejects overflow by field name.
+
+pub struct RunLengths {
+    pub warmup_insts: u64,
+    pub measure_insts: u64,
+}
+
+impl RunLengths {
+    pub fn total(&self) -> Result<u64, String> {
+        self.warmup_insts
+            .checked_add(self.measure_insts)
+            .ok_or_else(|| "warmup_insts + measure_insts overflows u64".to_string())
+    }
+
+    pub fn scaled(&self, reps: u64) -> u64 {
+        self.measure_insts.saturating_mul(reps)
+    }
+}

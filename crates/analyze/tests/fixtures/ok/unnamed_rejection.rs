@@ -1,0 +1,16 @@
+//! Clean counterpart: every rejection names the field or offset it
+//! rejected, so a failure report is actionable without a debugger.
+
+pub fn validate(count: u64, limit: u64) -> Result<(), String> {
+    if count > limit {
+        return Err(format!("record count {count} exceeds the header limit {limit}"));
+    }
+    if count == 0 {
+        return Err("record count field must be non-zero".to_string());
+    }
+    Ok(())
+}
+
+pub fn check_magic(byte: u8, offset: usize) {
+    assert!(byte == 0x50, "bad magic byte {byte:#x} at offset {offset}");
+}

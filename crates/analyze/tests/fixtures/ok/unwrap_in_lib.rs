@@ -1,0 +1,25 @@
+//! Clean counterpart: named errors, defaults, and test-module unwraps
+//! (which stay — tests are supposed to panic on violated expectations).
+
+pub fn head(xs: &[u64]) -> Result<u64, String> {
+    xs.first()
+        .copied()
+        .ok_or_else(|| "head of empty slice".to_string())
+}
+
+pub fn parse_port(s: &str) -> Result<u16, String> {
+    s.parse()
+        .map_err(|e| format!("port field {s:?} is not a u16: {e}"))
+}
+
+pub fn head_or_zero(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_here() {
+        assert_eq!(super::parse_port("80").unwrap(), 80);
+    }
+}

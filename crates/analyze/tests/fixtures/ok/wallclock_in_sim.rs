@@ -1,0 +1,10 @@
+//! Clean counterpart: simulated time comes from the engine's own clock,
+//! and seeds arrive as explicit inputs.
+
+pub fn seed_from_spec(exec_seed: u64, cell_index: u64) -> u64 {
+    exec_seed ^ cell_index.rotate_left(17)
+}
+
+pub fn budget_reached(sim_cycle: u64, budget_cycles: u64) -> bool {
+    sim_cycle >= budget_cycles
+}

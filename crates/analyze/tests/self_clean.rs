@@ -1,0 +1,77 @@
+//! The lint pass applied to the workspace that ships it: clean modulo the
+//! ratchet baseline, with every baseline entry carrying a written reason.
+
+use prestage_analyze as analyze;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = workspace_root();
+    let rules = analyze::rules::rule_names();
+    let analysis = analyze::analyze_workspace(&root, &rules)
+        .unwrap_or_else(|e| panic!("workspace walk failed: {e}"));
+    assert!(analysis.files_scanned > 50, "walker found too few files");
+
+    let baseline_path = root.join(analyze::BASELINE_PATH);
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    let baseline = analyze::Baseline::parse(&text)
+        .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+
+    let ratchet = baseline.apply(&analysis.findings);
+    assert!(
+        ratchet.new.is_empty(),
+        "non-baselined findings:\n{}",
+        ratchet
+            .new
+            .iter()
+            .map(analyze::render_finding)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        ratchet.unexplained.is_empty(),
+        "baseline entries without a reason: {:?}",
+        ratchet
+            .unexplained
+            .iter()
+            .map(|e| (e.rule.as_str(), e.file.as_str()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn baseline_reasons_are_substantive() {
+    // A reason must argue a case, not restate the rule name; insist on a
+    // full clause, not a token.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join(analyze::BASELINE_PATH)).unwrap();
+    let baseline = analyze::Baseline::parse(&text).unwrap();
+    assert!(!baseline.entries.is_empty());
+    for e in &baseline.entries {
+        assert!(
+            e.reason.split_whitespace().count() >= 5,
+            "baseline reason for ({}, {}) is too thin: {:?}",
+            e.rule,
+            e.file,
+            e.reason
+        );
+    }
+}
+
+#[test]
+fn baseline_round_trips_through_strict_json() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join(analyze::BASELINE_PATH)).unwrap();
+    let baseline = analyze::Baseline::parse(&text).unwrap();
+    let reparsed = analyze::Baseline::parse(&baseline.render()).unwrap();
+    assert_eq!(baseline, reparsed);
+}

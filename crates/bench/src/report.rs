@@ -57,6 +57,7 @@ fn create_csv(name: &str) -> (std::fs::File, PathBuf) {
 
 fn size_labels(spec: &ExperimentSpec) -> Vec<String> {
     let labels: Vec<String> = spec.l1_sizes.iter().map(|&s| size_label(s)).collect();
+    // prestage: allow(nondeterministic-iteration, the set is only measured with len() for a duplicate check — an order-independent use)
     let unique: std::collections::HashSet<&str> = labels.iter().map(String::as_str).collect();
     assert_eq!(
         unique.len(),

@@ -124,6 +124,7 @@ pub struct StreamPredictor {
 }
 
 fn fold_tag(x: u64) -> u32 {
+    // prestage: allow(truncating-cast, hash fold: collapsing 64 address bits into a 32-bit tag is the point; collisions only alias predictor entries, never corrupt results)
     ((x >> 2) ^ (x >> 17) ^ (x >> 33)) as u32 | 1
 }
 

@@ -21,7 +21,7 @@ use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
 use prestage_isa::{align_line, Addr};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Requestor classes, in strictly decreasing bus priority.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -141,9 +141,9 @@ pub struct L2System {
     queue: BinaryHeap<Reverse<Pending>>,
     /// Requests granted, waiting for data, by ready time.
     inflight: BinaryHeap<Reverse<(u64, u64)>>, // (ready_at, seq into `meta`)
-    meta: HashMap<u64, Completion>,
+    meta: BTreeMap<u64, Completion>,
     /// Outstanding (queued or in-flight) read requests by line, for dedup.
-    by_line: HashMap<Addr, ReqId>,
+    by_line: BTreeMap<Addr, ReqId>,
     next_seq: u64,
     stats: BusStats,
 }
@@ -155,8 +155,8 @@ impl L2System {
             l2: SetAssocCache::new(cfg.capacity, cfg.line, cfg.assoc),
             queue: BinaryHeap::new(),
             inflight: BinaryHeap::new(),
-            meta: HashMap::new(),
-            by_line: HashMap::new(),
+            meta: BTreeMap::new(),
+            by_line: BTreeMap::new(),
             next_seq: 0,
             stats: BusStats::default(),
         }
@@ -286,7 +286,11 @@ impl L2System {
                 break;
             }
             self.inflight.pop();
-            let c = self.meta.remove(&seq).expect("completion metadata");
+            // Every grant inserts into both `inflight` and `meta` under
+            // the same seq; a miss here means the two fell out of sync.
+            let Some(c) = self.meta.remove(&seq) else {
+                unreachable!("in-flight request seq {seq} has no completion metadata")
+            };
             if self.by_line.get(&c.line) == Some(&c.id) {
                 self.by_line.remove(&c.line);
             }

@@ -15,7 +15,7 @@ impl LruSet {
     pub fn new(assoc: usize) -> Self {
         assert!((1..=255).contains(&assoc));
         LruSet {
-            rank: (0..assoc as u8).collect(),
+            rank: (0u8..=u8::MAX).take(assoc).collect(),
         }
     }
 
@@ -32,8 +32,15 @@ impl LruSet {
 
     /// The least recently used way.
     pub fn lru(&self) -> usize {
-        let max = (self.rank.len() - 1) as u8;
-        self.rank.iter().position(|&r| r == max).expect("rank permutation")
+        // `rank` is a permutation of 0..assoc (maintained by `touch`), so
+        // the way holding the maximum rank is the LRU way.  Ranks are
+        // distinct, so the maximum is unique and no tie-break applies.
+        self.rank
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &r)| r)
+            .map(|(way, _)| way)
+            .unwrap_or(0)
     }
 
     /// The least recently used way among `eligible` (e.g. CLGP restricts

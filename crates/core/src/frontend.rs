@@ -42,7 +42,7 @@ use crate::stats::FrontStats;
 use prestage_cache::{ArrayPort, Completion, L2System, MemSource, ReqClass, ReqId, SetAssocCache};
 use prestage_isa::{Addr, INST_BYTES};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Where a fetched line came from (Figure 7 categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -111,7 +111,7 @@ pub struct FrontEnd {
     pf: Option<Box<dyn InstrPrefetcher>>,
     /// Prefetch copies from the L1 completing at (cycle, synthetic id).
     l1_copies: Vec<(u64, ReqId)>,
-    routes: HashMap<ReqId, Route>,
+    routes: BTreeMap<ReqId, Route>,
     next_synth: u64,
     stats: FrontStats,
 }
@@ -152,7 +152,7 @@ impl FrontEnd {
             inflight: VecDeque::new(),
             pf: build_prefetcher(&cfg),
             l1_copies: Vec::new(),
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             next_synth: SYNTH_BASE,
             cfg,
             stats: FrontStats::default(),

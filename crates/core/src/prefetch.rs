@@ -31,7 +31,7 @@ use crate::queue::{FetchQueue, LineSlot};
 use crate::stats::FrontStats;
 use prestage_cache::{ArrayPort, L2System, ReqClass, ReqId, SetAssocCache};
 use prestage_isa::Addr;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Upper bound on any mechanism's internal request queue that is not
 /// already bounded by `piq_entries` (MANA region expansions, program-map
@@ -60,7 +60,7 @@ pub struct PrefetchView<'a> {
     pub l0: Option<&'a mut SetAssocCache>,
     pub(crate) l1_copy_port: &'a mut ArrayPort,
     pub(crate) l1_copies: &'a mut Vec<(u64, ReqId)>,
-    pub(crate) routes: &'a mut HashMap<ReqId, Route>,
+    pub(crate) routes: &'a mut BTreeMap<ReqId, Route>,
     pub(crate) next_synth: &'a mut u64,
     pub stats: &'a mut FrontStats,
 }
@@ -733,7 +733,13 @@ impl InstrPrefetcher for ManaPrefetcher {
     fn restore(&mut self, cp: &PrefetchCheckpoint) {
         let v = &cp.0;
         debug_assert_eq!(v.len(), 5 + 3 * self.sab.len());
-        self.cur = (v[0] == 1).then(|| (v[1], v[2] as u32));
+        self.cur = (v[0] == 1).then(|| {
+            // Word 2 was written from a u32 (`bm as u64` in `checkpoint`).
+            let Ok(bm) = u32::try_from(v[2]) else {
+                unreachable!("checkpoint footprint-bitmap word {:#x} overflows u32", v[2])
+            };
+            (v[1], bm)
+        });
         self.last_line = (v[3] == 1).then_some(v[4]);
         for (i, e) in self.sab.iter_mut().enumerate() {
             e.valid = v[5 + 3 * i] == 1;

@@ -105,7 +105,16 @@ impl FetchQueue {
             let line = align_line(pc, self.line_bytes);
             let line_end = line + self.line_bytes;
             let last_pc = end.min(line_end);
-            let n = ((last_pc - pc) / INST_BYTES) as u32;
+            let span = (last_pc - pc) / INST_BYTES;
+            // Bounded by both `len: u32` and the line size, but say so
+            // instead of truncating (PR 5's `as u16` clamp hid exactly
+            // this kind of silent wrap).
+            let Ok(n) = u32::try_from(span) else {
+                unreachable!(
+                    "fetch-block line span {span} instructions overflows u32 \
+                     (pc {pc:#x}, line end {last_pc:#x})"
+                )
+            };
             lines.push_back(LineSlot {
                 block_seq: seq,
                 line,
@@ -269,5 +278,21 @@ mod tests {
         // Misaligned start adds one line.
         q.push_block(2, 0x5004, 64);
         assert_eq!(q.len_lines(), 4 + 5);
+    }
+
+    #[test]
+    fn per_line_counts_survive_high_addresses_and_sum_to_len() {
+        // Regression for the narrowing in `push_block`: per-line counts
+        // are now range-checked, and must partition the block exactly
+        // even when the PC sits in the top of the address space.
+        let mut q = FetchQueue::new(QueueKind::Cltq, 64, 8);
+        let start = 0xFFFF_FFFF_FFFF_F004; // line-misaligned, near the top
+        let len = 48u32;
+        assert!(q.push_block(7, start, len));
+        let slots: Vec<_> = q.iter_lines().cloned().collect();
+        assert_eq!(slots.iter().map(|s| s.n_insts).sum::<u32>(), len);
+        assert!(slots.iter().all(|s| s.n_insts >= 1 && s.n_insts <= 16));
+        assert_eq!(slots.first().map(|s| s.first_pc), Some(start));
+        assert!(slots.last().is_some_and(|s| s.last_of_block));
     }
 }

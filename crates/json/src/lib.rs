@@ -92,7 +92,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -129,7 +129,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -153,7 +153,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -167,7 +167,7 @@ impl<'a> Parser<'a> {
                 return self.err(format!("duplicate key {key:?}"));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let val = self.value(depth + 1)?;
             pairs.push((key, val));
             self.skip_ws();
@@ -185,7 +185,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -232,6 +232,7 @@ impl<'a> Parser<'a> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
+                    // prestage: allow(unwrap-in-lib, the loop above advanced pos over continuation bytes of input already required to be valid UTF-8, so the slice is valid by construction)
                     out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
                 }
             }
@@ -254,6 +255,7 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
+        // prestage: allow(unwrap-in-lib, the slice holds only ASCII digit/sign/exponent bytes matched by the loop above — always valid UTF-8)
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if is_float {
             match text.parse::<f64>() {
@@ -277,6 +279,7 @@ fn escape_into(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
+            // prestage: allow(truncating-cast, char to u32 is a widening conversion — every char is a valid u32 code point; the rule is syntactic and cannot see the source type)
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }

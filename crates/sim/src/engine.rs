@@ -24,7 +24,7 @@ use prestage_cache::{L2Config, L2System, ReqClass};
 use prestage_core::{Delivery, FrontEnd, PrefetchCheckpoint};
 use prestage_isa::{Addr, INST_BYTES};
 use prestage_workload::{DynInst, InstSource, TraceGenerator, Workload};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 #[derive(Debug)]
 struct BlockInfo {
@@ -196,7 +196,7 @@ pub struct Engine<'w> {
     /// Truth streams waiting to be predicted (partial streams after a
     /// mid-stream divergence resume here).
     pending_truth: VecDeque<(StreamDesc, Vec<DynInst>)>,
-    blocks: HashMap<u64, BlockInfo>,
+    blocks: BTreeMap<u64, BlockInfo>,
     path: PathState,
     redirect: Option<RedirectInfo>,
     decode: VecDeque<DecodeEntry>,
@@ -240,7 +240,7 @@ impl<'w> Engine<'w> {
             clock: 0,
             next_seq: 0,
             pending_truth: VecDeque::new(),
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             path: PathState::OnPath,
             redirect: None,
             decode: VecDeque::new(),
@@ -315,7 +315,7 @@ impl<'w> Engine<'w> {
         let free = self
             .cfg
             .decode_buffer
-            .saturating_sub(self.decode.len() as u32);
+            .saturating_sub(u32::try_from(self.decode.len()).unwrap_or(u32::MAX));
         self.deliveries.clear();
         let mut deliveries = std::mem::take(&mut self.deliveries);
         self.fe.tick(now, &mut self.l2, free, &mut deliveries);
@@ -327,20 +327,19 @@ impl<'w> Engine<'w> {
         // 4. Dispatch decoded instructions into the RUU.
         let mut width = self.cfg.backend.width;
         while width > 0 && self.be.free_slots() > 0 {
-            match self.decode.front() {
-                Some(e) if e.ready <= now => {
-                    let e = self.decode.pop_front().unwrap();
-                    let st = self.w.program.block(e.inst.block).insts[e.inst.idx as usize];
-                    let ruu_seq = self.be.dispatch(&st, e.inst.mem_addr, e.mispredict);
-                    if e.mispredict {
-                        if let Some(r) = &mut self.redirect {
-                            r.ruu_seq = Some(ruu_seq);
-                        }
-                    }
-                    width -= 1;
-                }
-                _ => break,
+            let Some(&e) = self.decode.front() else { break };
+            if e.ready > now {
+                break;
             }
+            self.decode.pop_front();
+            let st = self.w.program.block(e.inst.block).insts[e.inst.idx as usize];
+            let ruu_seq = self.be.dispatch(&st, e.inst.mem_addr, e.mispredict);
+            if e.mispredict {
+                if let Some(r) = &mut self.redirect {
+                    r.ruu_seq = Some(ruu_seq);
+                }
+            }
+            width -= 1;
         }
 
         // 5. Prediction: one fetch block per cycle into the queue.
@@ -358,7 +357,12 @@ impl<'w> Engine<'w> {
         let Some(info) = self.blocks.get(&d.block_seq) else {
             return;
         };
-        let base = ((d.first_pc - info.start) / INST_BYTES) as u32;
+        // `as u32` here could alias a far-out-of-range delivery back into
+        // the block (the PR 5 truncation class); an offset that does not
+        // fit is by definition outside the block, so it evaporates.
+        let Ok(base) = u32::try_from((d.first_pc - info.start) / INST_BYTES) else {
+            return;
+        };
         for k in 0..d.count {
             let idx = base + k;
             if let Some(di) = info.insts.get(idx as usize) {

@@ -833,19 +833,32 @@ fn run_spec_cells_over(
     cells: &[SweepCell],
     workloads: &[Workload],
     traces: Option<&[Option<ReplaySource>]>,
-) -> Vec<CellResult> {
+) -> Result<Vec<CellResult>, String> {
     let configure = |c: &SweepCell| spec.sim_config(c.preset, c.l1);
     match traces {
-        None => run_cells_full(
+        None => Ok(run_cells_full(
             cells,
             workloads,
             configure,
             spec.resolved_threads(),
             spec.predictor,
-        ),
+        )),
         Some(sources) => {
+            // Named rejection *before* the pool starts: every cell must
+            // have a loaded replay source, so the worker closure below
+            // cannot hit a missing slot mid-sweep.
+            for c in cells {
+                if !matches!(sources.get(c.bench_idx), Some(Some(_))) {
+                    return Err(format!(
+                        "cell (preset {:?}, bench index {}) has no loaded replay \
+                         source — the spec's traces do not cover every bench the \
+                         cells reference",
+                        c.preset, c.bench_idx
+                    ));
+                }
+            }
             let spec_seed = spec.exec_seed;
-            run_cells_sourced(
+            Ok(run_cells_sourced(
                 cells,
                 workloads,
                 configure,
@@ -861,10 +874,14 @@ fn run_spec_cells_over(
                          recorded at {spec_seed} — replay cannot serve foreign-seed cells",
                         c.exec_seed
                     );
-                    match sources[c.bench_idx]
-                        .as_ref()
-                        .expect("replay source loaded for every bench the cells reference")
-                    {
+                    let Some(Some(source)) = sources.get(c.bench_idx) else {
+                        unreachable!(
+                            "bench index {} was pre-checked against the replay \
+                             sources before the pool started",
+                            c.bench_idx
+                        )
+                    };
+                    match source {
                         ReplaySource::InMemory(records, path) => Box::new(replay_shared(
                             records.clone(),
                             path.display().to_string(),
@@ -878,7 +895,7 @@ fn run_spec_cells_over(
                         ),
                     }
                 },
-            )
+            ))
         }
     }
 }
@@ -893,7 +910,7 @@ pub fn run_spec_cells(
     spec.validate()?;
     let workloads = spec.build_workloads()?;
     let traces = spec.replay_sources(cells)?;
-    Ok(run_spec_cells_over(spec, cells, &workloads, traces.as_deref()))
+    run_spec_cells_over(spec, cells, &workloads, traces.as_deref())
 }
 
 /// Run the whole experiment in-process: ordered `[preset][size]` rows with
@@ -927,7 +944,7 @@ pub fn try_run_spec_over(
     }
     let cells = grid.cells();
     let traces = spec.replay_sources(&cells)?;
-    let results = run_spec_cells_over(spec, &cells, workloads, traces.as_deref());
+    let results = run_spec_cells_over(spec, &cells, workloads, traces.as_deref())?;
     Ok(grid.merge_named(results, &names))
 }
 

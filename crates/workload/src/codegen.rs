@@ -678,6 +678,7 @@ pub fn build(profile: &BenchmarkProfile, seed: u64) -> Workload {
     // Emission pass.
     let mut ra = RegAlloc::new(seed);
     let mut pb = ProgramBuilder::new();
+    // prestage: allow(nondeterministic-iteration, written by insert and drained by keyed remove(&b.start) in block order — never iterated, so the map order cannot reach the emitted program)
     let mut control_by_start: HashMap<Addr, BlockControl> = HashMap::new();
     for (fi, f) in funcs.iter().enumerate() {
         // Block start addresses within the function.

@@ -55,6 +55,7 @@ pub struct TraceGenerator<'w> {
     call_stack: Vec<Addr>,
     branch_state: Vec<BranchState>,
     /// Visit counters for strided memory sites, keyed `block << 16 | idx`.
+    // prestage: allow(nondeterministic-iteration, accessed only via entry() with a full key and never iterated — no order to leak)
     mem_visits: HashMap<u64, u32>,
     /// Maximum instructions per emitted stream.
     max_stream: u32,
@@ -70,6 +71,7 @@ impl<'w> TraceGenerator<'w> {
             pc: w.program.entry(),
             call_stack: Vec::with_capacity(32),
             branch_state: vec![BranchState::default(); w.program.num_blocks()],
+            // prestage: allow(nondeterministic-iteration, see the field declaration — keyed entry() access only)
             mem_visits: HashMap::new(),
             max_stream: MAX_STREAM_INSTS,
             w,

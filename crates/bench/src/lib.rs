@@ -28,11 +28,16 @@ pub mod perf;
 pub mod report;
 
 use std::io::Write;
-use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::path::PathBuf;
 
 /// The paper's L1 I-cache sweep axis, re-exported from the spec module.
 pub use prestage_sim::L1_SIZES;
+
+/// Where sweep artifacts land — re-exported from `prestage_sim` (the
+/// anchoring moved down so the `prestage serve` daemon shares it without
+/// depending on the figure harness); see
+/// [`prestage_sim::results_dir`] for the resolution rules.
+pub use prestage_sim::results_dir;
 
 /// Human label for a size ("256B", "4K", "1.5K", ...).
 ///
@@ -46,42 +51,6 @@ pub fn size_label(bytes: usize) -> String {
     } else {
         format!("{}K", bytes as f64 / 1024.0)
     }
-}
-
-/// Directory where sweep artifacts (CSVs, notes, perf JSON) land:
-/// `PRESTAGE_RESULTS_DIR` if set, else `<workspace root>/results` — derived
-/// once, independent of the invocation cwd.
-///
-/// The workspace root is the compile-time manifest root when it still
-/// exists (the normal case — and immune to a shared `CARGO_TARGET_DIR`
-/// parked inside some *other* workspace); if the checkout moved since the
-/// build, it is recovered by walking up from the running binary to the
-/// nearest `[workspace]` manifest.
-pub fn results_dir() -> &'static Path {
-    static DIR: OnceLock<PathBuf> = OnceLock::new();
-    DIR.get_or_init(|| {
-        if let Some(d) = std::env::var_os("PRESTAGE_RESULTS_DIR") {
-            return PathBuf::from(d);
-        }
-        // crates/bench → crates → workspace root, fixed at compile time.
-        let baked = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .map(Path::to_path_buf)
-            .unwrap_or_else(|| PathBuf::from("."));
-        if baked.is_dir() {
-            return baked.join("results");
-        }
-        let near_exe = std::env::current_exe().ok().and_then(|exe| {
-            exe.ancestors()
-                .find(|d| {
-                    std::fs::read_to_string(d.join("Cargo.toml"))
-                        .is_ok_and(|m| m.contains("[workspace]"))
-                })
-                .map(Path::to_path_buf)
-        });
-        near_exe.unwrap_or(baked).join("results")
-    })
 }
 
 /// Append a record of measured headline values (consumed by EXPERIMENTS.md
@@ -134,7 +103,7 @@ mod tests {
     }
 
     #[test]
-    fn results_dir_is_cwd_independent() {
+    fn results_dir_reexport_is_cwd_independent() {
         // Either the env override or the workspace-root default — never a
         // bare relative "results" that depends on the invocation cwd.
         let dir = results_dir();

@@ -56,6 +56,18 @@ pub struct BenchMedian {
     pub median_ns: f64,
 }
 
+/// Throughput of the `prestage serve` orchestrator on this host, measured
+/// by `ci_grid` driving a real scheduler over a small sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePerf {
+    /// Jobs completed per second on a fresh (cold-cache) sweep —
+    /// scheduler + journal + cache overhead on top of the cell sims.
+    pub jobs_per_s: f64,
+    /// Latency of resubmitting the identical sweep once cached: the pure
+    /// cache-hit path (spec hash + artifact lookup, no simulation).
+    pub cache_hit_s: f64,
+}
+
 /// A whole CI perf report.  The artifact's schema number is not a field:
 /// [`PerfReport::to_json`] always writes [`PERF_SCHEMA`] and `from_json`
 /// only accepts it, so a report that would be rejected by its own reader
@@ -66,12 +78,16 @@ pub struct PerfReport {
     pub cells: Vec<CellPerf>,
     /// Micro-bench medians; empty when no medians file was present.
     pub benches: Vec<BenchMedian>,
+    /// Serve-orchestrator throughput; `None` when the measurement was
+    /// skipped (serialized as JSON `null`).
+    pub serve: Option<ServePerf>,
 }
 
 /// Current artifact schema.  2 added the `benches` section; 3 added the
-/// per-row min/max cell wall-clock (noise characterization).  Earlier-
-/// schema baselines read as "no baseline" for one run after an upgrade.
-pub const PERF_SCHEMA: u32 = 3;
+/// per-row min/max cell wall-clock (noise characterization); 4 added the
+/// `serve` orchestrator-throughput section.  Earlier-schema baselines
+/// read as "no baseline" for one run after an upgrade.
+pub const PERF_SCHEMA: u32 = 4;
 
 /// Relative change `new/old - 1`, with a zero/zero as no change and a
 /// from-zero jump as +inf.
@@ -124,6 +140,16 @@ impl PerfReport {
                         .collect(),
                 ),
             ),
+            (
+                "serve",
+                match &self.serve {
+                    None => Json::Null,
+                    Some(s) => Json::obj([
+                        ("jobs_per_s", s.jobs_per_s.into()),
+                        ("cache_hit_s", s.cache_hit_s.into()),
+                    ]),
+                },
+            ),
         ])
         .pretty()
     }
@@ -166,10 +192,18 @@ impl PerfReport {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
+        let serve = match v.get("serve")? {
+            Json::Null => None,
+            s => Some(ServePerf {
+                jobs_per_s: s.get("jobs_per_s")?.as_f64()?,
+                cache_hit_s: s.get("cache_hit_s")?.as_f64()?,
+            }),
+        };
         Some(PerfReport {
             total_wall_s: v.get("total_wall_s")?.as_f64()?,
             cells,
             benches,
+            serve,
         })
     }
 }
@@ -305,6 +339,47 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
             ));
         }
     }
+    match (&old.serve, &new.serve) {
+        (Some(prev), Some(s)) => {
+            let d_tp = rel_delta(prev.jobs_per_s, s.jobs_per_s);
+            let d_hit = rel_delta(prev.cache_hit_s, s.cache_hit_s);
+            deltas.push(format!(
+                "serve: {:.1} -> {:.1} jobs/s ({:+.1}%), cache hit {:.4}s -> {:.4}s ({:+.1}%)",
+                prev.jobs_per_s,
+                s.jobs_per_s,
+                100.0 * d_tp,
+                prev.cache_hit_s,
+                s.cache_hit_s,
+                100.0 * d_hit,
+            ));
+            // Throughput numbers ride on wall-clock, so use the wide
+            // micro-bench band and only warn on regression.
+            if d_tp < -BENCH_WARN {
+                warnings.push(format!(
+                    "serve: job throughput down {:.1}% ({:.1} -> {:.1} jobs/s)",
+                    -100.0 * d_tp,
+                    prev.jobs_per_s,
+                    s.jobs_per_s
+                ));
+            }
+            if d_hit > BENCH_WARN {
+                warnings.push(format!(
+                    "serve: cache-hit latency up {:.1}% ({:.4}s -> {:.4}s)",
+                    100.0 * d_hit,
+                    prev.cache_hit_s,
+                    s.cache_hit_s
+                ));
+            }
+        }
+        (Some(_), None) => warnings.push(
+            "serve: section present in baseline but missing from this run".to_string(),
+        ),
+        (None, Some(s)) => deltas.push(format!(
+            "serve: {:.1} jobs/s, cache hit {:.4}s (no baseline)",
+            s.jobs_per_s, s.cache_hit_s
+        )),
+        (None, None) => {}
+    }
     (deltas, warnings)
 }
 
@@ -337,6 +412,7 @@ mod tests {
                 name: "engine/crafty_20k".into(),
                 median_ns: 6_420_000.0,
             }],
+            serve: None,
         }
     }
 
@@ -353,7 +429,7 @@ mod tests {
         assert!(PerfReport::from_json("not json at all").is_none());
         let other = report(1.0, 1.0)
             .to_json()
-            .replace("\"schema\": 3", "\"schema\": 2");
+            .replace("\"schema\": 4", "\"schema\": 2");
         assert!(PerfReport::from_json(&other).is_none());
     }
 
@@ -433,6 +509,7 @@ mod tests {
             total_wall_s: 0.0,
             cells: vec![],
             benches: vec![],
+            serve: None,
         };
         let (deltas, warnings) = diff(&old, &report(1.0, 0.01));
         assert_eq!(deltas.len(), 3);
@@ -445,6 +522,51 @@ mod tests {
         let (_, warnings) = diff(&report(1.0, 0.01), &shrunk);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("missing from this run"));
+    }
+
+    #[test]
+    fn serve_section_roundtrips_and_diffs() {
+        let mut r = report(1.0, 0.01);
+        r.serve = Some(ServePerf {
+            jobs_per_s: 12.5,
+            cache_hit_s: 0.003,
+        });
+        let back = PerfReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
+        // An absent section serializes as null and round-trips to None.
+        let absent = report(1.0, 0.01);
+        assert!(absent.to_json().contains("\"serve\": null"));
+        assert_eq!(PerfReport::from_json(&absent.to_json()).unwrap().serve, None);
+
+        // Small movement: reported, not warned.
+        let mut faster = r.clone();
+        faster.serve = Some(ServePerf {
+            jobs_per_s: 13.0,
+            cache_hit_s: 0.0032,
+        });
+        let (deltas, warnings) = diff(&r, &faster);
+        assert!(deltas.iter().any(|d| d.contains("jobs/s")), "{deltas:?}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // Throughput down 40% / cache-hit up 2x: both warned.
+        let mut slow = r.clone();
+        slow.serve = Some(ServePerf {
+            jobs_per_s: 7.5,
+            cache_hit_s: 0.006,
+        });
+        let (_, warnings) = diff(&r, &slow);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("throughput down"));
+        assert!(warnings[1].contains("cache-hit latency up"));
+        // Section vanishing is lost coverage; appearing is just new data.
+        let (_, warnings) = diff(&r, &report(1.0, 0.01));
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("missing from this run"));
+        let (deltas, warnings) = diff(&report(1.0, 0.01), &r);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert!(
+            deltas.iter().any(|d| d.contains("no baseline")),
+            "{deltas:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The content-addressed result store.
+//!
+//! Every entry is keyed by a canonical JSON value — a cell identity or a
+//! portable sweep spec — and holds one JSON value.  The key's compact
+//! rendering is hashed ([`content_hash`]) to pick the entry file
+//! `<root>/<hh>/<hash>.json` (`hh` = first two hex digits, a fan-out
+//! directory), and the file stores *both* the key and the value, so a get
+//! verifies the stored key against the requested one byte-for-byte: a
+//! hash collision is a loud named error, never a silently wrong result.
+//!
+//! Writes go through a temp file + atomic rename, so a reader (or a
+//! crashed writer) never observes a half-written entry, and concurrent
+//! writers of the same key are idempotent — the values are deterministic,
+//! so last-rename-wins is byte-identical to first-rename-wins.
+
+use prestage_json::Json;
+use std::path::{Path, PathBuf};
+
+/// On-disk schema of one cache entry file.
+pub const CACHE_SCHEMA: u64 = 1;
+
+/// 128-bit FNV-1a over `bytes`, as 32 hex digits: two independent 64-bit
+/// lanes with distinct offset bases, each avalanched through a
+/// xorshift-multiply finalizer (raw FNV leaves short inputs' differences
+/// stuck in the low bits, which would collapse the leading-byte fan-out
+/// directories).  Not cryptographic — collision *detection* is the
+/// stored-key comparison in [`Store::get`]; the hash only has to spread
+/// entries across file names.
+pub fn content_hash(bytes: &[u8]) -> String {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn avalanche(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^ (x >> 33)
+    }
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    for &byte in bytes {
+        a = (a ^ u64::from(byte)).wrapping_mul(PRIME);
+        b = (b ^ u64::from(byte.rotate_left(3))).wrapping_mul(PRIME);
+    }
+    format!("{:016x}{:016x}", avalanche(a), avalanche(b))
+}
+
+/// A content-addressed key → value store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: &Path) -> Result<Store, String> {
+        std::fs::create_dir_all(root)
+            .map_err(|e| format!("cannot create cache root {}: {e}", root.display()))?;
+        Ok(Store {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, hash: &str) -> PathBuf {
+        self.root.join(&hash[..2]).join(format!("{hash}.json"))
+    }
+
+    /// Look `key` up.  `Ok(None)` on a miss; a present entry whose stored
+    /// key does not match `key` byte-for-byte (a 128-bit hash collision,
+    /// or a corrupted entry) is a loud error naming the entry file.
+    pub fn get(&self, key: &Json) -> Result<Option<Json>, String> {
+        let key_text = key.render();
+        let path = self.entry_path(&content_hash(key_text.as_bytes()));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read cache entry {}: {e}", path.display())),
+        };
+        let v = Json::parse(&text)
+            .map_err(|e| format!("cache entry {}: {e}", path.display()))?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cache entry {} has no schema field", path.display()))?;
+        if schema != CACHE_SCHEMA {
+            return Err(format!(
+                "cache entry {} has schema {schema}, this build reads {CACHE_SCHEMA}",
+                path.display()
+            ));
+        }
+        let stored_key = v
+            .get("key")
+            .ok_or_else(|| format!("cache entry {} has no key field", path.display()))?;
+        if stored_key.render() != key_text {
+            return Err(format!(
+                "cache entry {} stores a different key than the one that hashed \
+                 to it — hash collision or corrupted entry; remove the file to recover",
+                path.display()
+            ));
+        }
+        let value = v
+            .get("value")
+            .ok_or_else(|| format!("cache entry {} has no value field", path.display()))?;
+        Ok(Some(value.clone()))
+    }
+
+    /// Insert `key` → `value` (idempotent: rewriting a key with the same
+    /// deterministic value is byte-identical either way).  Atomic via
+    /// temp file + rename: no reader ever sees a partial entry.
+    pub fn put(&self, key: &Json, value: &Json) -> Result<(), String> {
+        let key_text = key.render();
+        let hash = content_hash(key_text.as_bytes());
+        let path = self.entry_path(&hash);
+        let dir = path.parent().unwrap_or(&self.root);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        let entry = Json::obj([
+            ("schema", CACHE_SCHEMA.into()),
+            ("key", key.clone()),
+            ("value", value.clone()),
+        ])
+        .pretty();
+        let tmp = dir.join(format!("{hash}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &entry)
+            .map_err(|e| format!("cannot write cache temp {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot move cache entry into place at {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let d = std::env::temp_dir().join(format!(
+                "prestage-cache-test-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&d);
+            std::fs::create_dir_all(&d).unwrap();
+            TempDir(d)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_spread() {
+        let h = content_hash(b"hello");
+        assert_eq!(h.len(), 32);
+        assert_eq!(h, content_hash(b"hello"));
+        assert_ne!(h, content_hash(b"hellp"));
+        // Single-bit flips land in different fan-out dirs often enough.
+        let dirs: std::collections::BTreeSet<String> = (0u8..64)
+            .map(|i| content_hash(&[i])[..2].to_string())
+            .collect();
+        assert!(dirs.len() > 16, "fan-out too narrow: {dirs:?}");
+    }
+
+    #[test]
+    fn get_put_roundtrip_and_miss() {
+        let tmp = TempDir::new("roundtrip");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Json::obj([("kind", "cell".into()), ("l1", 1024usize.into())]);
+        assert_eq!(store.get(&key).unwrap(), None);
+        let value = Json::obj([("cycles", 123u64.into())]);
+        store.put(&key, &value).unwrap();
+        assert_eq!(store.get(&key).unwrap(), Some(value.clone()));
+        // Idempotent re-put.
+        store.put(&key, &value).unwrap();
+        assert_eq!(store.get(&key).unwrap(), Some(value));
+        // A different key misses.
+        let other = Json::obj([("kind", "cell".into()), ("l1", 2048usize.into())]);
+        assert_eq!(store.get(&other).unwrap(), None);
+    }
+
+    #[test]
+    fn collision_is_loud() {
+        let tmp = TempDir::new("collision");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Json::obj([("kind", "sweep".into())]);
+        store.put(&key, &Json::Null).unwrap();
+        // Corrupt the entry: swap the stored key for a different one.
+        let hash = content_hash(key.render().as_bytes());
+        let path = tmp.0.join(&hash[..2]).join(format!("{hash}.json"));
+        let forged = Json::obj([
+            ("schema", CACHE_SCHEMA.into()),
+            ("key", Json::obj([("kind", "forged".into())])),
+            ("value", Json::Null),
+        ])
+        .pretty();
+        std::fs::write(&path, forged).unwrap();
+        let err = store.get(&key).unwrap_err();
+        assert!(err.contains("different key"), "{err}");
+    }
+}

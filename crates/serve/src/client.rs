@@ -1,0 +1,37 @@
+//! Client-side plumbing shared by the `prestage submit`/`status`/`fetch`
+//! verbs: daemon discovery through the state directory's address file,
+//! and one-shot framed request/response exchanges.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::server::ADDR_FILE;
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Resolve the daemon address: an explicit `--addr` wins; otherwise read
+/// the address file the daemon wrote into its state directory.
+pub fn resolve_addr(explicit: Option<&str>, state_dir: &Path) -> Result<String, String> {
+    if let Some(a) = explicit {
+        return Ok(a.to_string());
+    }
+    let path = state_dir.join(ADDR_FILE);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => Ok(s.trim().to_string()),
+        Err(e) => Err(format!(
+            "cannot read daemon address file {} (is `prestage serve` running \
+             with this state dir? pass --addr to override): {e}",
+            path.display()
+        )),
+    }
+}
+
+/// One request/response exchange with the daemon at `addr`.
+pub fn request(addr: &str, req: &Request) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to the daemon at {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    write_frame(&mut stream, &req.to_json())?;
+    let v = read_frame(&mut stream)?.ok_or_else(|| {
+        format!("daemon at {addr} closed the connection without a response frame")
+    })?;
+    Response::from_json(&v)
+}

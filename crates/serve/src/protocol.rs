@@ -1,0 +1,615 @@
+//! The `prestage serve` wire protocol: length-prefixed JSON frames.
+//!
+//! A frame is `b"PSRV"` (4 magic bytes) + a little-endian `u32` payload
+//! length + that many bytes of UTF-8 JSON.  One request frame gets one
+//! response frame; connections may pipeline several request/response
+//! pairs.  The payload grammar is a tagged object (`{"type": ...}`) parsed
+//! strictly on both sides — unknown fields and unknown types are rejected
+//! by name, and every framing error carries the byte offset it was
+//! detected at, matching the loud-rejection policy of the other wire
+//! formats (and fuzzed the same way: the `frame` target feeds arbitrary
+//! bytes through [`decode_frame`] + [`Request::from_json`]).
+
+use prestage_json::Json;
+use prestage_sim::ExperimentSpec;
+use std::io::{Read, Write};
+
+/// Leading magic of every frame — a cheap guard against a stray client
+/// (an HTTP probe, a chatty port scanner) being parsed as JSON.
+pub const FRAME_MAGIC: [u8; 4] = *b"PSRV";
+
+/// Frame header size: magic + little-endian `u32` payload length.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a frame payload.  Artifacts for paper-size grids are a
+/// few MB; anything larger than this is a corrupt length field, and
+/// refusing it here keeps a hostile header from asking the daemon to
+/// allocate 4 GB.
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Encode one value as a frame (header + rendered JSON payload).
+pub fn encode_frame(v: &Json) -> Vec<u8> {
+    encode_frame_text(&v.render())
+}
+
+/// [`encode_frame`] for pre-rendered payload text (the fuzz seeds use
+/// this to build frames around deliberately malformed payloads).
+pub fn encode_frame_text(payload: &str) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).unwrap_or_else(|_| {
+        panic!(
+            "frame payload of {} bytes overflows the u32 length header",
+            payload.len()
+        )
+    });
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Decode one frame from the front of `bytes`: the payload value plus the
+/// number of bytes consumed.  Total — every malformed input is an `Err`
+/// naming the offending byte offset or header field, never a panic (the
+/// `frame` fuzz target holds it to that).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Json, usize), String> {
+    if bytes.len() < FRAME_HEADER {
+        return Err(format!(
+            "frame header truncated: {} byte(s), need {FRAME_HEADER}",
+            bytes.len()
+        ));
+    }
+    if bytes[..4] != FRAME_MAGIC {
+        return Err(format!(
+            "bad frame magic at byte offset 0: {:02x?} (want {:02x?})",
+            &bytes[..4],
+            FRAME_MAGIC
+        ));
+    }
+    let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame length header claims {len} bytes, over the {MAX_FRAME}-byte cap"
+        ));
+    }
+    let end = FRAME_HEADER + len;
+    if bytes.len() < end {
+        return Err(format!(
+            "frame payload truncated: length header claims {len} byte(s), \
+             only {} present after the header",
+            bytes.len() - FRAME_HEADER
+        ));
+    }
+    let text = std::str::from_utf8(&bytes[FRAME_HEADER..end]).map_err(|e| {
+        format!(
+            "frame payload is not UTF-8 at payload byte offset {}",
+            e.valid_up_to()
+        )
+    })?;
+    let v = Json::parse(text).map_err(|e| format!("frame payload: {e}"))?;
+    Ok((v, end))
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, v: &Json) -> Result<(), String> {
+    let bytes = encode_frame(v);
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("writing frame: {e}"))
+}
+
+/// Read one frame from a stream.  `Ok(None)` on clean EOF before any
+/// header byte (the peer hung up between frames); errors name what broke.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, String> {
+    let mut header = [0u8; FRAME_HEADER];
+    match r.read(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(mut got) => {
+            while got < FRAME_HEADER {
+                let n = r
+                    .read(&mut header[got..])
+                    .map_err(|e| format!("reading frame header: {e}"))?;
+                if n == 0 {
+                    return Err(format!(
+                        "connection closed mid-header: {got} of {FRAME_HEADER} byte(s)"
+                    ));
+                }
+                got += n;
+            }
+        }
+        Err(e) => return Err(format!("reading frame header: {e}")),
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(format!(
+            "bad frame magic at byte offset 0: {:02x?} (want {:02x?})",
+            &header[..4],
+            FRAME_MAGIC
+        ));
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame length header claims {len} bytes, over the {MAX_FRAME}-byte cap"
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("reading {len}-byte frame payload: {e}"))?;
+    let text = std::str::from_utf8(&payload).map_err(|e| {
+        format!(
+            "frame payload is not UTF-8 at payload byte offset {}",
+            e.valid_up_to()
+        )
+    })?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| format!("frame payload: {e}"))
+}
+
+/// Reject objects carrying keys outside `known` — a misspelled field must
+/// not silently become a default.
+fn reject_unknown(v: &Json, what: &str, known: &[&str]) -> Result<(), String> {
+    let keys = v
+        .keys()
+        .ok_or_else(|| format!("{what} must be a JSON object"))?;
+    for k in keys {
+        if !known.contains(&k) {
+            return Err(format!("unknown field {k:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit a sweep; the daemon answers with its identity and progress.
+    Submit {
+        /// The experiment to run, validated server-side like `prestage run`.
+        spec: ExperimentSpec,
+    },
+    /// Progress counters for one sweep (`Some`) or all known sweeps.
+    Status {
+        /// Sweep id, or `None` for everything the daemon knows about.
+        sweep: Option<String>,
+    },
+    /// Fetch a completed sweep's grid artifact.
+    Fetch {
+        /// Sweep id as returned by submit.
+        sweep: String,
+    },
+    /// Ask the daemon to drain in-flight jobs and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Serialize as the wire payload object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::obj([("type", "ping".into())]),
+            Request::Submit { spec } => Json::obj([
+                ("type", "submit".into()),
+                ("spec", spec.to_json_value()),
+            ]),
+            Request::Status { sweep } => Json::obj([
+                ("type", "status".into()),
+                ("sweep", sweep.clone().into()),
+            ]),
+            Request::Fetch { sweep } => Json::obj([
+                ("type", "fetch".into()),
+                ("sweep", sweep.as_str().into()),
+            ]),
+            Request::Shutdown => Json::obj([("type", "shutdown".into())]),
+        }
+    }
+
+    /// Strict parse of a request payload: the `type` tag selects the
+    /// variant, required fields must be present, unknown fields are
+    /// rejected by name.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("request has no string \"type\" field")?;
+        match tag {
+            "ping" => {
+                reject_unknown(v, "ping request", &["type"])?;
+                Ok(Request::Ping)
+            }
+            "submit" => {
+                reject_unknown(v, "submit request", &["type", "spec"])?;
+                let spec = ExperimentSpec::from_json_value(
+                    v.get("spec").ok_or("submit request has no spec field")?,
+                )?;
+                Ok(Request::Submit { spec })
+            }
+            "status" => {
+                reject_unknown(v, "status request", &["type", "sweep"])?;
+                let sweep = match v.get("sweep") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(
+                        s.as_str()
+                            .ok_or("status request sweep field must be a string or null")?
+                            .to_string(),
+                    ),
+                };
+                Ok(Request::Status { sweep })
+            }
+            "fetch" => {
+                reject_unknown(v, "fetch request", &["type", "sweep"])?;
+                let sweep = v
+                    .get("sweep")
+                    .and_then(Json::as_str)
+                    .ok_or("fetch request has no string sweep field")?;
+                Ok(Request::Fetch {
+                    sweep: sweep.to_string(),
+                })
+            }
+            "shutdown" => {
+                reject_unknown(v, "shutdown request", &["type"])?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+}
+
+/// Progress counters for one sweep, as reported by `status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepStatus {
+    /// Content-addressed sweep id.
+    pub sweep: String,
+    /// `"queued"`, `"running"`, `"done"` or `"failed: <why>"`.
+    pub state: String,
+    /// Total cells in the sweep grid.
+    pub cells_total: usize,
+    /// Cells with results so far (cache hits included).
+    pub cells_done: usize,
+    /// Cells served straight from the content-addressed cache.
+    pub cached_cells: usize,
+    /// Total jobs the sweep was split into (0 for a pure cache hit).
+    pub jobs_total: usize,
+    /// Jobs completed so far.
+    pub jobs_done: usize,
+}
+
+impl SweepStatus {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sweep", self.sweep.as_str().into()),
+            ("state", self.state.as_str().into()),
+            ("cells_total", self.cells_total.into()),
+            ("cells_done", self.cells_done.into()),
+            ("cached_cells", self.cached_cells.into()),
+            ("jobs_total", self.jobs_total.into()),
+            ("jobs_done", self.jobs_done.into()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SweepStatus, String> {
+        reject_unknown(
+            v,
+            "sweep status",
+            &[
+                "sweep",
+                "state",
+                "cells_total",
+                "cells_done",
+                "cached_cells",
+                "jobs_total",
+                "jobs_done",
+            ],
+        )?;
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("sweep status field {key:?} missing or not an integer"))
+        };
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("sweep status field {key:?} missing or not a string"))
+        };
+        Ok(SweepStatus {
+            sweep: s("sweep")?,
+            state: s("state")?,
+            cells_total: field("cells_total")?,
+            cells_done: field("cells_done")?,
+            cached_cells: field("cached_cells")?,
+            jobs_total: field("jobs_total")?,
+            jobs_done: field("jobs_done")?,
+        })
+    }
+}
+
+/// One daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to ping.
+    Pong,
+    /// Answer to submit: the sweep's identity and how far along it is.
+    Submitted {
+        /// Content-addressed sweep id (hash of the portable spec JSON).
+        sweep: String,
+        /// Total cells in the grid.
+        cells: usize,
+        /// Jobs enqueued for this submission (0 on a pure cache hit).
+        jobs: usize,
+        /// Cells already present in the content-addressed cache.
+        cached_cells: usize,
+        /// Whether the artifact is already available to fetch.
+        complete: bool,
+    },
+    /// Answer to status.
+    Status {
+        /// Counters per sweep, sorted by sweep id.
+        sweeps: Vec<SweepStatus>,
+    },
+    /// Answer to fetch: the canonical grid artifact, byte-identical to
+    /// `prestage run --out` of the same spec.
+    Artifact {
+        /// Sweep id the artifact belongs to.
+        sweep: String,
+        /// The artifact text.
+        artifact: String,
+    },
+    /// Any request-level failure, with the reason.
+    Error {
+        /// What went wrong (named field/offset, per the rejection policy).
+        error: String,
+    },
+    /// Answer to shutdown: the daemon is draining.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Serialize as the wire payload object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => Json::obj([("type", "pong".into())]),
+            Response::Submitted {
+                sweep,
+                cells,
+                jobs,
+                cached_cells,
+                complete,
+            } => Json::obj([
+                ("type", "submitted".into()),
+                ("sweep", sweep.as_str().into()),
+                ("cells", (*cells).into()),
+                ("jobs", (*jobs).into()),
+                ("cached_cells", (*cached_cells).into()),
+                ("complete", (*complete).into()),
+            ]),
+            Response::Status { sweeps } => Json::obj([
+                ("type", "status".into()),
+                (
+                    "sweeps",
+                    Json::Arr(sweeps.iter().map(SweepStatus::to_json).collect()),
+                ),
+            ]),
+            Response::Artifact { sweep, artifact } => Json::obj([
+                ("type", "artifact".into()),
+                ("sweep", sweep.as_str().into()),
+                ("artifact", artifact.as_str().into()),
+            ]),
+            Response::Error { error } => Json::obj([
+                ("type", "error".into()),
+                ("error", error.as_str().into()),
+            ]),
+            Response::ShuttingDown => Json::obj([("type", "shutting_down".into())]),
+        }
+    }
+
+    /// Strict parse of a response payload (the client side of
+    /// [`Request::from_json`]'s contract).
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("response has no string \"type\" field")?;
+        match tag {
+            "pong" => {
+                reject_unknown(v, "pong response", &["type"])?;
+                Ok(Response::Pong)
+            }
+            "submitted" => {
+                reject_unknown(
+                    v,
+                    "submitted response",
+                    &["type", "sweep", "cells", "jobs", "cached_cells", "complete"],
+                )?;
+                let n = |key: &str| {
+                    v.get(key).and_then(Json::as_usize).ok_or_else(|| {
+                        format!("submitted response field {key:?} missing or not an integer")
+                    })
+                };
+                Ok(Response::Submitted {
+                    sweep: v
+                        .get("sweep")
+                        .and_then(Json::as_str)
+                        .ok_or("submitted response has no string sweep field")?
+                        .to_string(),
+                    cells: n("cells")?,
+                    jobs: n("jobs")?,
+                    cached_cells: n("cached_cells")?,
+                    complete: v
+                        .get("complete")
+                        .and_then(Json::as_bool)
+                        .ok_or("submitted response has no boolean complete field")?,
+                })
+            }
+            "status" => {
+                reject_unknown(v, "status response", &["type", "sweeps"])?;
+                let sweeps = v
+                    .get("sweeps")
+                    .and_then(Json::as_arr)
+                    .ok_or("status response has no sweeps array")?
+                    .iter()
+                    .map(SweepStatus::from_json)
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Status { sweeps })
+            }
+            "artifact" => {
+                reject_unknown(v, "artifact response", &["type", "sweep", "artifact"])?;
+                let s = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            format!("artifact response field {key:?} missing or not a string")
+                        })
+                };
+                Ok(Response::Artifact {
+                    sweep: s("sweep")?,
+                    artifact: s("artifact")?,
+                })
+            }
+            "error" => {
+                reject_unknown(v, "error response", &["type", "error"])?;
+                Ok(Response::Error {
+                    error: v
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .ok_or("error response has no string error field")?
+                        .to_string(),
+                })
+            }
+            "shutting_down" => {
+                reject_unknown(v, "shutting_down response", &["type"])?;
+                Ok(Response::ShuttingDown)
+            }
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            presets: vec![prestage_sim::ConfigPreset::Base],
+            l1_sizes: vec![1 << 10],
+            bench: Some(vec!["gzip".into()]),
+            warmup_insts: 1_000,
+            measure_insts: 4_000,
+            ..ExperimentSpec::default()
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let v = Request::Submit { spec: tiny_spec() }.to_json();
+        let bytes = encode_frame(&v);
+        let (back, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, v);
+        // Stream round-trip too.
+        let mut cursor = std::io::Cursor::new(bytes);
+        let streamed = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(streamed, v);
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_rejections_are_named() {
+        let cases: Vec<(Vec<u8>, &str)> = vec![
+            (b"PSR".to_vec(), "header truncated"),
+            (b"HTTP/1.1    ".to_vec(), "bad frame magic"),
+            (
+                {
+                    let mut b = FRAME_MAGIC.to_vec();
+                    b.extend_from_slice(&u32::MAX.to_le_bytes());
+                    b
+                },
+                "over the",
+            ),
+            (
+                {
+                    let mut b = FRAME_MAGIC.to_vec();
+                    b.extend_from_slice(&8u32.to_le_bytes());
+                    b.extend_from_slice(b"abc");
+                    b
+                },
+                "payload truncated",
+            ),
+            (
+                {
+                    let mut b = FRAME_MAGIC.to_vec();
+                    b.extend_from_slice(&2u32.to_le_bytes());
+                    b.extend_from_slice(&[0xff, 0xfe]);
+                    b
+                },
+                "not UTF-8",
+            ),
+        ];
+        for (bytes, want) in cases {
+            let err = decode_frame(&bytes).unwrap_err();
+            assert!(err.contains(want), "error {err:?} should contain {want:?}");
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_and_strictness() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Submit { spec: tiny_spec() },
+            Request::Status { sweep: None },
+            Request::Status {
+                sweep: Some("abc".into()),
+            },
+            Request::Fetch {
+                sweep: "abc".into(),
+            },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
+        }
+        let bad = Json::obj([("type", "ping".into()), ("extra", 1u64.into())]);
+        assert!(Request::from_json(&bad).unwrap_err().contains("extra"));
+        let bad = Json::obj([("type", "teleport".into())]);
+        assert!(Request::from_json(&bad).unwrap_err().contains("teleport"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = vec![
+            Response::Pong,
+            Response::Submitted {
+                sweep: "ab12".into(),
+                cells: 8,
+                jobs: 2,
+                cached_cells: 4,
+                complete: false,
+            },
+            Response::Status {
+                sweeps: vec![SweepStatus {
+                    sweep: "ab12".into(),
+                    state: "running".into(),
+                    cells_total: 8,
+                    cells_done: 3,
+                    cached_cells: 1,
+                    jobs_total: 2,
+                    jobs_done: 0,
+                }],
+            },
+            Response::Artifact {
+                sweep: "ab12".into(),
+                artifact: "{\n}\n".into(),
+            },
+            Response::Error {
+                error: "spec field \"tech\" unknown".into(),
+            },
+            Response::ShuttingDown,
+        ];
+        for r in resps {
+            assert_eq!(Response::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+}

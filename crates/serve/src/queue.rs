@@ -1,0 +1,495 @@
+//! The persistent job queue: an append-only JSON-lines journal.
+//!
+//! Every state transition the daemon makes is one compact JSON line,
+//! appended and flushed *before* the transition is acted on externally
+//! (results are written to the cache before `job_done` is appended, so a
+//! journaled job is never ahead of its data).  Restart = replay: the
+//! journal rebuilds the queue, finished jobs stay finished, and jobs that
+//! were in flight when the process died are simply re-enqueued — their
+//! cells are mostly cache hits by then, so resume is cheap.
+//!
+//! Replay is strict with one carve-out: a malformed **final** line is
+//! tolerated (a `kill -9` can tear the last append mid-write) and
+//! reported; a malformed line anywhere else means real corruption and is
+//! a loud error naming the line number.
+
+use prestage_json::Json;
+use prestage_sim::ExperimentSpec;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Half-open cell range `[start, end)` of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRange {
+    /// First cell (flat grid position).
+    pub start: usize,
+    /// One past the last cell.
+    pub end: usize,
+}
+
+impl JobRange {
+    /// Number of cells in the job.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Lifecycle of one job during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Not finished when the journal ended — re-enqueue on resume.
+    Pending,
+    /// A `job_done` line covers it.
+    Done,
+}
+
+/// Terminal state of one sweep after replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepOutcome {
+    /// Jobs still outstanding (or assembly not journaled).
+    InFlight,
+    /// `sweep_done` was journaled: the artifact is in the cache.
+    Done,
+    /// `sweep_failed` was journaled, with the reason.
+    Failed(String),
+}
+
+/// One sweep reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// The submitted spec (as journaled; execution details included).
+    pub spec: ExperimentSpec,
+    /// Total cells in the sweep grid.
+    pub n_cells: usize,
+    /// The job split, in job-index order.
+    pub jobs: Vec<JobRange>,
+    /// Per-job state.
+    pub job_state: Vec<JobState>,
+    /// Cumulative `job_failed` lines per job (retry bookkeeping).
+    pub failures: Vec<u32>,
+    /// Terminal state.
+    pub outcome: SweepOutcome,
+}
+
+/// Everything the journal says about the world.
+#[derive(Debug, Default)]
+pub struct QueueState {
+    /// Sweeps by content-addressed id, in id order.
+    pub sweeps: BTreeMap<String, SweepRecord>,
+    /// Whether the final journaled event is a clean `shutdown`.
+    pub clean_shutdown: bool,
+    /// Whether a torn (unparseable) final line was dropped during replay.
+    pub torn_tail: bool,
+}
+
+impl QueueState {
+    /// Sweeps with unfinished jobs — the resume work list, in id order.
+    pub fn unfinished(&self) -> Vec<&str> {
+        self.sweeps
+            .iter()
+            .filter(|(_, r)| r.outcome == SweepOutcome::InFlight)
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+}
+
+/// The append side of the journal.  One line per event, flushed before
+/// the caller proceeds; callers serialize appends through the mutex so
+/// concurrent workers never interleave partial lines.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+/// Journal file name under the serve state directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+impl Journal {
+    /// Open (append mode, creating if needed) the journal at `path`.
+    pub fn open(path: &Path) -> Result<Journal, String> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create journal dir {}: {e}", dir.display()))?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append one event line and flush it to the OS.
+    pub fn append(&self, event: &Json) -> Result<(), String> {
+        let mut line = event.render();
+        line.push('\n');
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        f.write_all(line.as_bytes())
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("cannot append to journal {}: {e}", self.path.display()))
+    }
+
+    /// The `submit` event: a sweep enters the queue.
+    pub fn submit(
+        &self,
+        sweep: &str,
+        spec: &ExperimentSpec,
+        n_cells: usize,
+        jobs: &[JobRange],
+    ) -> Result<(), String> {
+        self.append(&Json::obj([
+            ("event", "submit".into()),
+            ("sweep", sweep.into()),
+            ("spec", spec.to_json_value()),
+            ("n_cells", n_cells.into()),
+            (
+                "jobs",
+                Json::Arr(
+                    jobs.iter()
+                        .map(|j| Json::Arr(vec![j.start.into(), j.end.into()]))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// The `job_done` event: the job's results are safely in the cache.
+    pub fn job_done(&self, sweep: &str, job: usize) -> Result<(), String> {
+        self.append(&Json::obj([
+            ("event", "job_done".into()),
+            ("sweep", sweep.into()),
+            ("job", job.into()),
+        ]))
+    }
+
+    /// The `job_failed` event: one attempt failed (the job may retry).
+    pub fn job_failed(&self, sweep: &str, job: usize, error: &str) -> Result<(), String> {
+        self.append(&Json::obj([
+            ("event", "job_failed".into()),
+            ("sweep", sweep.into()),
+            ("job", job.into()),
+            ("error", error.into()),
+        ]))
+    }
+
+    /// The `sweep_done` event: the merged artifact is in the cache.
+    pub fn sweep_done(&self, sweep: &str) -> Result<(), String> {
+        self.append(&Json::obj([
+            ("event", "sweep_done".into()),
+            ("sweep", sweep.into()),
+        ]))
+    }
+
+    /// The `sweep_failed` event: retries exhausted.
+    pub fn sweep_failed(&self, sweep: &str, error: &str) -> Result<(), String> {
+        self.append(&Json::obj([
+            ("event", "sweep_failed".into()),
+            ("sweep", sweep.into()),
+            ("error", error.into()),
+        ]))
+    }
+
+    /// The `shutdown` event: the daemon drained and exited on purpose.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.append(&Json::obj([("event", "shutdown".into())]))
+    }
+}
+
+fn apply_event(state: &mut QueueState, v: &Json, line_no: usize) -> Result<(), String> {
+    let tag = v
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("journal line {line_no} has no string event field"))?;
+    // Every event except submit/shutdown references an already-submitted
+    // sweep; a dangling reference means the journal lost its head.
+    let sweep_of = |state: &mut QueueState| -> Result<String, String> {
+        let id = v
+            .get("sweep")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("journal line {line_no} has no string sweep field"))?;
+        if !state.sweeps.contains_key(id) {
+            return Err(format!(
+                "journal line {line_no} references sweep {id} before its submit line"
+            ));
+        }
+        Ok(id.to_string())
+    };
+    let job_of = |rec: &SweepRecord| -> Result<usize, String> {
+        let job = v
+            .get("job")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("journal line {line_no} has no integer job field"))?;
+        if job >= rec.jobs.len() {
+            return Err(format!(
+                "journal line {line_no} names job {job}, but the sweep has {} job(s)",
+                rec.jobs.len()
+            ));
+        }
+        Ok(job)
+    };
+    state.clean_shutdown = false;
+    match tag {
+        "submit" => {
+            let id = v
+                .get("sweep")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("journal line {line_no} has no string sweep field"))?;
+            let spec = ExperimentSpec::from_json_value(
+                v.get("spec")
+                    .ok_or_else(|| format!("journal line {line_no} has no spec field"))?,
+            )
+            .map_err(|e| format!("journal line {line_no}: {e}"))?;
+            let n_cells = v
+                .get("n_cells")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("journal line {line_no} has no integer n_cells"))?;
+            let jobs = v
+                .get("jobs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("journal line {line_no} has no jobs array"))?
+                .iter()
+                .map(|j| {
+                    let pair = j.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                        format!("journal line {line_no}: each job must be a [start, end] pair")
+                    })?;
+                    let (start, end) = (
+                        pair[0].as_usize().ok_or_else(|| {
+                            format!("journal line {line_no}: job start is not an integer")
+                        })?,
+                        pair[1].as_usize().ok_or_else(|| {
+                            format!("journal line {line_no}: job end is not an integer")
+                        })?,
+                    );
+                    if start >= end || end > n_cells {
+                        return Err(format!(
+                            "journal line {line_no}: job range {start}..{end} is invalid \
+                             for {n_cells} cells"
+                        ));
+                    }
+                    Ok(JobRange { start, end })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            // Re-submitting a sweep that already completed (daemon restarted,
+            // client resubmitted) is legal; the later submit resets nothing
+            // if the sweep already has a record in a terminal state.
+            let n_jobs = jobs.len();
+            state
+                .sweeps
+                .entry(id.to_string())
+                .or_insert_with(|| SweepRecord {
+                    spec,
+                    n_cells,
+                    jobs,
+                    job_state: vec![JobState::Pending; n_jobs],
+                    failures: vec![0; n_jobs],
+                    outcome: SweepOutcome::InFlight,
+                });
+        }
+        "job_done" => {
+            let id = sweep_of(state)?;
+            let rec = state.sweeps.get_mut(&id).unwrap_or_else(|| {
+                unreachable!("sweep {id} existence checked on journal line {line_no}")
+            });
+            let job = job_of(rec)?;
+            rec.job_state[job] = JobState::Done;
+        }
+        "job_failed" => {
+            let id = sweep_of(state)?;
+            let rec = state.sweeps.get_mut(&id).unwrap_or_else(|| {
+                unreachable!("sweep {id} existence checked on journal line {line_no}")
+            });
+            let job = job_of(rec)?;
+            rec.failures[job] = rec.failures[job].saturating_add(1);
+        }
+        "sweep_done" => {
+            let id = sweep_of(state)?;
+            let rec = state.sweeps.get_mut(&id).unwrap_or_else(|| {
+                unreachable!("sweep {id} existence checked on journal line {line_no}")
+            });
+            rec.outcome = SweepOutcome::Done;
+        }
+        "sweep_failed" => {
+            let id = sweep_of(state)?;
+            let error = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unrecorded failure")
+                .to_string();
+            let rec = state.sweeps.get_mut(&id).unwrap_or_else(|| {
+                unreachable!("sweep {id} existence checked on journal line {line_no}")
+            });
+            rec.outcome = SweepOutcome::Failed(error);
+        }
+        "shutdown" => {
+            state.clean_shutdown = true;
+        }
+        other => {
+            return Err(format!(
+                "journal line {line_no} has unknown event {other:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replay a journal file into a [`QueueState`].  A missing file is an
+/// empty state (first boot).  A malformed final line is dropped and
+/// flagged ([`QueueState::torn_tail`]); a malformed line anywhere else is
+/// a loud error naming the line number.
+pub fn replay(path: &Path) -> Result<QueueState, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(QueueState::default()),
+        Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+    };
+    let mut state = QueueState::default();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let last = i + 1 == lines.len();
+        let parsed = Json::parse(line).map_err(|e| e.to_string());
+        let applied = parsed.and_then(|v| apply_event(&mut state, &v, line_no));
+        if let Err(e) = applied {
+            if last {
+                // A kill -9 can tear the final append mid-line; dropping
+                // it only forgets the most recent transition, which replay
+                // semantics already tolerate (the job re-runs from cache).
+                state.torn_tail = true;
+                state.clean_shutdown = false;
+                break;
+            }
+            return Err(format!(
+                "journal {} line {line_no} is corrupt mid-file: {e}",
+                path.display()
+            ));
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            presets: vec![prestage_sim::ConfigPreset::Base],
+            l1_sizes: vec![1 << 10, 4 << 10],
+            bench: Some(vec!["gzip".into()]),
+            warmup_insts: 1_000,
+            measure_insts: 4_000,
+            ..ExperimentSpec::default()
+        }
+    }
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let d = std::env::temp_dir().join(format!(
+                "prestage-queue-test-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&d);
+            std::fs::create_dir_all(&d).unwrap();
+            TempDir(d)
+        }
+        fn journal(&self) -> std::path::PathBuf {
+            self.0.join(JOURNAL_FILE)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn missing_journal_is_empty_state() {
+        let tmp = TempDir::new("empty");
+        let state = replay(&tmp.journal()).unwrap();
+        assert!(state.sweeps.is_empty());
+        assert!(!state.clean_shutdown);
+        assert!(!state.torn_tail);
+    }
+
+    #[test]
+    fn roundtrip_rebuilds_queue() {
+        let tmp = TempDir::new("roundtrip");
+        let j = Journal::open(&tmp.journal()).unwrap();
+        let jobs = [JobRange { start: 0, end: 1 }, JobRange { start: 1, end: 2 }];
+        j.submit("s1", &tiny_spec(), 2, &jobs).unwrap();
+        j.job_failed("s1", 1, "worker lost").unwrap();
+        j.job_done("s1", 0).unwrap();
+
+        let state = replay(&tmp.journal()).unwrap();
+        let rec = &state.sweeps["s1"];
+        assert_eq!(rec.jobs.to_vec(), jobs.to_vec());
+        assert_eq!(rec.job_state, vec![JobState::Done, JobState::Pending]);
+        assert_eq!(rec.failures, vec![0, 1]);
+        assert_eq!(rec.outcome, SweepOutcome::InFlight);
+        assert_eq!(state.unfinished(), vec!["s1"]);
+        assert!(!state.clean_shutdown);
+
+        j.job_done("s1", 1).unwrap();
+        j.sweep_done("s1").unwrap();
+        j.shutdown().unwrap();
+        let state = replay(&tmp.journal()).unwrap();
+        assert_eq!(state.sweeps["s1"].outcome, SweepOutcome::Done);
+        assert!(state.unfinished().is_empty());
+        assert!(state.clean_shutdown);
+        assert!(!state.torn_tail);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_mid_file_corruption_is_not() {
+        let tmp = TempDir::new("torn");
+        let j = Journal::open(&tmp.journal()).unwrap();
+        j.submit("s1", &tiny_spec(), 2, &[JobRange { start: 0, end: 2 }])
+            .unwrap();
+        // A torn tail: half an append.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(tmp.journal())
+            .unwrap()
+            .write_all(b"{\"event\": \"job_do")
+            .unwrap();
+        let state = replay(&tmp.journal()).unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.sweeps["s1"].job_state, vec![JobState::Pending]);
+
+        // The same garbage mid-file is refused with the line number.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(tmp.journal())
+            .unwrap()
+            .write_all(b"ne\"}\n{\"event\": \"shutdown\"}\n")
+            .unwrap();
+        // journal is now: submit / {"event": "job_done"} (no sweep) / shutdown
+        let err = replay(&tmp.journal()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn dangling_references_are_refused() {
+        let tmp = TempDir::new("dangling");
+        let j = Journal::open(&tmp.journal()).unwrap();
+        j.job_done("ghost", 0).unwrap();
+        j.shutdown().unwrap();
+        let err = replay(&tmp.journal()).unwrap_err();
+        assert!(err.contains("before its submit line"), "{err}");
+    }
+}

@@ -1,0 +1,188 @@
+//! The daemon: TCP accept loop, per-connection protocol handling,
+//! signal-driven graceful drain, and the offline `--check` audit.
+//!
+//! `serve` binds the configured address (port 0 = OS-assigned), writes
+//! the resolved address to `<state>/addr` so clients can find it without
+//! configuration, spawns the worker pool, and then accepts framed
+//! connections until SIGINT/SIGTERM or a protocol `shutdown` request.
+//! Drain means: stop accepting, let in-flight jobs finish (their results
+//! are cached and journaled), leave queued jobs journaled for the next
+//! start, append the clean-shutdown marker, remove the address file.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::queue::{replay, SweepOutcome, JOURNAL_FILE};
+use crate::scheduler::{Scheduler, ServeConfig};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// File inside the state directory holding the daemon's resolved listen
+/// address (written on bind, removed on clean exit).
+pub const ADDR_FILE: &str = "addr";
+
+/// Set by the SIGINT/SIGTERM handler; polled by the accept loop.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    extern "C" fn on_signal(_sig: i32) {
+        // The only async-signal-safe thing worth doing: set the flag.
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        let _ = signal(SIGINT, on_signal);
+        let _ = signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Run the daemon to completion (returns after a graceful drain).
+pub fn serve(cfg: ServeConfig) -> Result<(), String> {
+    let sched = Scheduler::new(cfg)?;
+    let cfg = sched.config();
+    let listener = TcpListener::bind(&cfg.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", cfg.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the bound listen address: {e}"))?;
+    let addr_path = cfg.state_dir.join(ADDR_FILE);
+    std::fs::write(&addr_path, format!("{addr}\n"))
+        .map_err(|e| format!("cannot write address file {}: {e}", addr_path.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set the listener non-blocking: {e}"))?;
+    install_signal_handlers();
+    eprintln!(
+        "prestage serve: listening on {addr} (state {}, {} worker(s), {} dispatch)",
+        cfg.state_dir.display(),
+        cfg.workers,
+        match cfg.dispatch {
+            crate::scheduler::Dispatch::InProcess => "in-process",
+            crate::scheduler::Dispatch::Child => "child-process",
+        }
+    );
+    let workers: Vec<std::thread::JoinHandle<()>> = (0..cfg.workers.max(1))
+        .map(|_| {
+            let s = Arc::clone(&sched);
+            std::thread::spawn(move || s.run_worker())
+        })
+        .collect();
+    loop {
+        if SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("prestage serve: caught shutdown signal");
+            break;
+        }
+        if sched.draining() {
+            break; // a connection asked for shutdown
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let s = Arc::clone(&sched);
+                std::thread::spawn(move || handle_conn(stream, &s));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                sched.tick();
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("prestage serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    eprintln!(
+        "prestage serve: draining {} in-flight job(s); queued jobs stay journaled",
+        sched.running_jobs()
+    );
+    sched.begin_drain();
+    for w in workers {
+        let _ = w.join();
+    }
+    sched.journal_shutdown()?;
+    let _ = std::fs::remove_file(&addr_path);
+    eprintln!("prestage serve: drained and exited cleanly");
+    Ok(())
+}
+
+/// One framed connection: requests until EOF (or a shutdown request).
+fn handle_conn(mut stream: TcpStream, sched: &Scheduler) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let v = match read_frame(&mut stream) {
+            Ok(Some(v)) => v,
+            Ok(None) => return, // clean EOF between frames
+            Err(e) => {
+                let _ = write_frame(&mut stream, &Response::Error { error: e }.to_json());
+                return;
+            }
+        };
+        let (resp, close) = match Request::from_json(&v) {
+            Err(e) => (Response::Error { error: e }, false),
+            Ok(Request::Ping) => (Response::Pong, false),
+            Ok(Request::Submit { spec }) => match sched.submit(&spec) {
+                Ok(r) => (r, false),
+                Err(e) => (Response::Error { error: e }, false),
+            },
+            Ok(Request::Status { sweep }) => (sched.status(sweep.as_deref()), false),
+            Ok(Request::Fetch { sweep }) => (sched.fetch(&sweep), false),
+            Ok(Request::Shutdown) => {
+                sched.begin_drain();
+                (Response::ShuttingDown, true)
+            }
+        };
+        if write_frame(&mut stream, &resp.to_json()).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Offline state audit behind `prestage serve --check`: replay the
+/// journal and demand a clean, fully-drained history.  Returns a human
+/// summary on success and a named error on any violation — CI's "the
+/// daemon exited with its journal in a clean state" gate.
+pub fn check(state_dir: &Path) -> Result<String, String> {
+    let path = state_dir.join(JOURNAL_FILE);
+    let state = replay(&path)?;
+    if state.torn_tail {
+        return Err(format!(
+            "journal {} ends in a torn line (unclean shutdown mid-append)",
+            path.display()
+        ));
+    }
+    let unfinished = state.unfinished();
+    if !unfinished.is_empty() {
+        return Err(format!(
+            "journal {} has {} unfinished sweep(s): {}",
+            path.display(),
+            unfinished.len(),
+            unfinished.join(", ")
+        ));
+    }
+    if !state.sweeps.is_empty() && !state.clean_shutdown {
+        return Err(format!(
+            "journal {} does not end with a clean-shutdown marker",
+            path.display()
+        ));
+    }
+    let done = state
+        .sweeps
+        .values()
+        .filter(|r| r.outcome == SweepOutcome::Done)
+        .count();
+    let failed = state.sweeps.len() - done;
+    Ok(format!(
+        "journal {}: {} sweep(s) ({done} done, {failed} failed), clean shutdown",
+        path.display(),
+        state.sweeps.len()
+    ))
+}

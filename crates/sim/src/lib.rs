@@ -22,7 +22,10 @@
 //! * [`spec`] — [`ExperimentSpec`], the serializable value that fully
 //!   describes an experiment, with JSON round-trip, the `PRESTAGE_*`
 //!   env override layer, and the shard-file format of the `prestage` CLI.
+//! * [`artifacts`] — [`results_dir`], the one cwd-independent answer to
+//!   where sweep artifacts land on disk.
 
+pub mod artifacts;
 pub mod backend;
 pub mod config;
 pub mod engine;
@@ -30,17 +33,19 @@ pub mod runner;
 pub mod spec;
 pub mod stats;
 
+pub use artifacts::results_dir;
 pub use backend::{BackEnd, BackendConfig, BackendStats};
 pub use config::{ConfigPreset, SimConfig};
 pub use engine::{Engine, PredictorKind};
 pub use prestage_core::PrefetcherKind;
 pub use runner::{
-    default_threads, live_source, pool_map, pool_threads, run_cells, run_cells_full,
-    run_cells_sourced, run_cells_with_threads, run_config_over, run_grid, run_one, CellGrid,
-    CellResult, GridResult, SweepCell,
+    default_threads, live_source, pool_map, pool_map_cancellable, pool_threads, run_cells,
+    run_cells_full, run_cells_sourced, run_cells_sourced_observed, run_cells_with_threads,
+    run_config_over, run_grid, run_one, CellGrid, CellResult, GridResult, SweepCell,
 };
 pub use spec::{
-    grid_output, run_spec, run_spec_cells, try_run_spec, try_run_spec_over, ExperimentSpec,
-    ShardFile, TraceSource, L1_SIZES, TRACE_RECORD_SLACK,
+    cell_from_json, cell_to_json, grid_output, run_spec, run_spec_cells,
+    run_spec_cells_observed, stats_from_json, stats_to_json, try_run_spec, try_run_spec_over,
+    ExperimentSpec, ShardFile, TraceSource, L1_SIZES, TRACE_RECORD_SLACK,
 };
 pub use stats::{harmonic_mean, SimStats};

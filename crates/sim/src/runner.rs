@@ -22,7 +22,7 @@ use crate::engine::{Engine, PredictorKind};
 use crate::stats::{harmonic_mean, SimStats};
 use prestage_cacti::TechNode;
 use prestage_workload::{build, BenchmarkProfile, InstSource, TraceGenerator, Workload};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Result of one grid row: per-benchmark stats plus the harmonic-mean IPC.
@@ -326,6 +326,61 @@ where
         .collect()
 }
 
+/// [`pool_map`] with cooperative cancellation: workers keep pulling
+/// indices from the shared cursor until it runs dry *or* `cancel` is
+/// observed set, whichever comes first.  Indices that ran come back as
+/// `Some` — bit-identical to what a full [`pool_map`] would have produced,
+/// because each task is independent — and indices never started are
+/// `None`.  With `threads <= 1` the tasks run serially on the caller's
+/// thread, checking `cancel` between indices.
+pub fn pool_map_cancellable<T, F>(
+    n: usize,
+    threads: usize,
+    cancel: &AtomicBool,
+    f: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, slot) in out.iter_mut().enumerate() {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            *slot = Some(f(i));
+        }
+        return out;
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(i))).expect("collector alive");
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx {
+        out[i] = Some(v);
+    }
+    out
+}
+
 /// Evaluate an arbitrary slice of cells — a whole grid, one row, or one
 /// shard of a distributed sweep — across `threads` workers.  `configure`
 /// maps each cell to its full [`SimConfig`] (run lengths, ablation knobs);
@@ -389,6 +444,41 @@ where
     F: Fn(&SweepCell) -> SimConfig + Sync,
     S: Fn(&SweepCell, &'w Workload) -> Box<dyn InstSource + 'w> + Sync,
 {
+    static RUN_TO_END: AtomicBool = AtomicBool::new(false);
+    run_cells_sourced_observed(
+        cells,
+        workloads,
+        configure,
+        threads,
+        predictor,
+        source,
+        &|_| {},
+        &RUN_TO_END,
+    )
+}
+
+/// [`run_cells_sourced`] with per-cell progress and cooperative
+/// cancellation — the executor behind the `prestage serve` job workers.
+/// `observer` is invoked (on whichever worker thread finished the cell)
+/// once per completed cell, in completion order; when `cancel` is set,
+/// workers stop pulling new cells and the completed subset comes back in
+/// input-cell order.  Completed results are bit-identical to a full
+/// [`run_cells_sourced`] run of the same cells.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cells_sourced_observed<'w, F, S>(
+    cells: &[SweepCell],
+    workloads: &'w [Workload],
+    configure: F,
+    threads: usize,
+    predictor: PredictorKind,
+    source: S,
+    observer: &(dyn Fn(&CellResult) + Sync),
+    cancel: &AtomicBool,
+) -> Vec<CellResult>
+where
+    F: Fn(&SweepCell) -> SimConfig + Sync,
+    S: Fn(&SweepCell, &'w Workload) -> Box<dyn InstSource + 'w> + Sync,
+{
     for c in cells {
         assert!(
             c.bench_idx < workloads.len(),
@@ -396,18 +486,23 @@ where
             workloads.len()
         );
     }
-    pool_map(cells.len(), threads, |i| {
+    pool_map_cancellable(cells.len(), threads, cancel, |i| {
         let cell = cells[i];
         let w = &workloads[cell.bench_idx];
         let t0 = std::time::Instant::now();
         let stats =
             Engine::with_source(configure(&cell), w, source(&cell, w), predictor).run();
-        CellResult {
+        let r = CellResult {
             cell,
             stats,
             wall: t0.elapsed(),
-        }
+        };
+        observer(&r);
+        r
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// [`run_cells_with_threads`] on the default pool width ([`pool_threads`]).

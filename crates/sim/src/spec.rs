@@ -30,8 +30,8 @@ use crate::config::{ConfigPreset, SimConfig};
 use crate::engine::PredictorKind;
 use prestage_core::PrefetcherKind;
 use crate::runner::{
-    default_threads, run_cells_full, run_cells_sourced, CellGrid, CellResult, GridResult,
-    SweepCell,
+    default_threads, live_source, run_cells_sourced_observed, CellGrid, CellResult,
+    GridResult, SweepCell,
 };
 use crate::stats::SimStats;
 use prestage_cacti::TechNode;
@@ -41,6 +41,7 @@ use prestage_workload::{
     Workload,
 };
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -555,6 +556,19 @@ impl ExperimentSpec {
         self.threads.unwrap_or_else(default_threads)
     }
 
+    /// This spec with the host-local execution fields cleared: `threads`
+    /// (pool width) and `trace` (committed-path source) never change
+    /// results, so the portable form is the spec's *result identity* —
+    /// [`grid_output`] embeds it, `prestage merge` compares shard specs
+    /// through it, and the serve cache keys sweeps by its canonical JSON.
+    pub fn portable(&self) -> ExperimentSpec {
+        ExperimentSpec {
+            threads: None,
+            trace: None,
+            ..self.clone()
+        }
+    }
+
     // -----------------------------------------------------------------------
     // JSON round-trip.
     // -----------------------------------------------------------------------
@@ -834,14 +848,32 @@ fn run_spec_cells_over(
     workloads: &[Workload],
     traces: Option<&[Option<ReplaySource>]>,
 ) -> Result<Vec<CellResult>, String> {
+    static RUN_TO_END: AtomicBool = AtomicBool::new(false);
+    run_spec_cells_observed_over(spec, cells, workloads, traces, &|_| {}, &RUN_TO_END)
+}
+
+/// [`run_spec_cells_over`] with per-cell progress and cooperative
+/// cancellation (see
+/// [`run_cells_sourced_observed`](crate::runner::run_cells_sourced_observed)).
+fn run_spec_cells_observed_over(
+    spec: &ExperimentSpec,
+    cells: &[SweepCell],
+    workloads: &[Workload],
+    traces: Option<&[Option<ReplaySource>]>,
+    observer: &(dyn Fn(&CellResult) + Sync),
+    cancel: &AtomicBool,
+) -> Result<Vec<CellResult>, String> {
     let configure = |c: &SweepCell| spec.sim_config(c.preset, c.l1);
     match traces {
-        None => Ok(run_cells_full(
+        None => Ok(run_cells_sourced_observed(
             cells,
             workloads,
             configure,
             spec.resolved_threads(),
             spec.predictor,
+            live_source,
+            observer,
+            cancel,
         )),
         Some(sources) => {
             // Named rejection *before* the pool starts: every cell must
@@ -858,7 +890,7 @@ fn run_spec_cells_over(
                 }
             }
             let spec_seed = spec.exec_seed;
-            Ok(run_cells_sourced(
+            Ok(run_cells_sourced_observed(
                 cells,
                 workloads,
                 configure,
@@ -895,6 +927,8 @@ fn run_spec_cells_over(
                         ),
                     }
                 },
+                observer,
+                cancel,
             ))
         }
     }
@@ -911,6 +945,25 @@ pub fn run_spec_cells(
     let workloads = spec.build_workloads()?;
     let traces = spec.replay_sources(cells)?;
     run_spec_cells_over(spec, cells, &workloads, traces.as_deref())
+}
+
+/// [`run_spec_cells`] with per-cell progress and cooperative cancellation
+/// — what a long-lived orchestrator (the `prestage serve` daemon) needs to
+/// stream job counters and drain workers on shutdown.  `observer` runs on
+/// the worker threads, once per completed cell; setting `cancel` makes
+/// workers stop pulling new cells, and only the completed subset (in
+/// input-cell order) is returned.  Completed results are bit-identical to
+/// an uncancelled [`run_spec_cells`] of the same slice.
+pub fn run_spec_cells_observed(
+    spec: &ExperimentSpec,
+    cells: &[SweepCell],
+    observer: &(dyn Fn(&CellResult) + Sync),
+    cancel: &AtomicBool,
+) -> Result<Vec<CellResult>, String> {
+    spec.validate()?;
+    let workloads = spec.build_workloads()?;
+    let traces = spec.replay_sources(cells)?;
+    run_spec_cells_observed_over(spec, cells, &workloads, traces.as_deref(), observer, cancel)
 }
 
 /// Run the whole experiment in-process: ordered `[preset][size]` rows with
@@ -959,7 +1012,9 @@ pub fn run_spec(spec: &ExperimentSpec) -> Vec<Vec<GridResult>> {
 // Cell/stats/shard serialization.
 // ---------------------------------------------------------------------------
 
-fn stats_to_json(s: &SimStats) -> Json {
+/// Serialize one cell's statistics as the canonical JSON object — the
+/// shard-file / grid-artifact / serve-cache representation.
+pub fn stats_to_json(s: &SimStats) -> Json {
     // Exhaustive destructuring everywhere in this codec: a new counter
     // field that is not serialized would silently break the bit-exact
     // shard/merge guarantee, so it must not compile instead.
@@ -1106,7 +1161,9 @@ fn source_of(v: &Json, key: &str) -> Result<prestage_core::SourceCount, String> 
     })
 }
 
-fn stats_from_json(v: &Json) -> Result<SimStats, String> {
+/// Parse [`stats_to_json`]'s representation back; every missing or
+/// malformed counter is named.
+pub fn stats_from_json(v: &Json) -> Result<SimStats, String> {
     let sub = |key: &str| {
         v.get(key)
             .filter(|s| matches!(s, Json::Obj(_)))
@@ -1168,7 +1225,9 @@ fn stats_from_json(v: &Json) -> Result<SimStats, String> {
     })
 }
 
-fn cell_to_json(c: &SweepCell) -> Json {
+/// Serialize a cell identifier as the canonical JSON object used by
+/// shard files and the serve cache.
+pub fn cell_to_json(c: &SweepCell) -> Json {
     let SweepCell {
         preset,
         tech,
@@ -1185,7 +1244,9 @@ fn cell_to_json(c: &SweepCell) -> Json {
     ])
 }
 
-fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
+/// Parse [`cell_to_json`]'s representation back; every missing or
+/// malformed field is named.
+pub fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
     let preset_id = v
         .get("preset")
         .and_then(Json::as_str)
@@ -1330,11 +1391,7 @@ impl ShardFile {
 /// by construction, so runs that only disagreed on either must still
 /// produce identical bytes — the property the replay CI job diffs.
 pub fn grid_output(spec: &ExperimentSpec, rows: &[Vec<GridResult>]) -> String {
-    let spec = &ExperimentSpec {
-        threads: None,
-        trace: None,
-        ..spec.clone()
-    };
+    let spec = &spec.portable();
     let mut out_rows = Vec::new();
     for (preset, row) in spec.presets.iter().zip(rows) {
         for (&l1, r) in spec.l1_sizes.iter().zip(row) {

@@ -1,0 +1,335 @@
+//! Integration tests of the `prestage serve` orchestrator on the real
+//! binaries: daemon + client verbs as separate OS processes, exercising
+//! the acceptance properties of the serve subsystem end to end —
+//! resubmission as a pure cache hit byte-identical to `prestage run`,
+//! cell-cache sharing across overlapping sweeps, kill/restart resume to
+//! the same bytes, graceful SIGINT drain, and `PRESTAGE_RESULTS_DIR`
+//! anchoring the default state directory independent of cwd.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn spec_file() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("specs/ci_shard.json")
+}
+
+const SCRUB: &[&str] = &[
+    "PRESTAGE_WARMUP",
+    "PRESTAGE_MEASURE",
+    "PRESTAGE_SEED",
+    "PRESTAGE_EXEC_SEED",
+    "PRESTAGE_BENCH",
+    "PRESTAGE_THREADS",
+    "PRESTAGE_RESULTS_DIR",
+];
+
+/// The real binary with a scrubbed `PRESTAGE_*` environment (file specs
+/// ignore it by design, but the tests must not depend on that).
+fn prestage_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_prestage"));
+    for var in SCRUB {
+        cmd.env_remove(var);
+    }
+    cmd
+}
+
+fn prestage(args: &[&str]) -> Output {
+    prestage_cmd().args(args).output().expect("spawn prestage")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("prestage_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A daemon child that is SIGKILLed on drop so a failing test can't leak
+/// a live process holding the state directory.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_daemon(state: &str, extra: &[&str]) -> Daemon {
+    // A SIGKILLed daemon leaves its address file behind; drop it so the
+    // wait below observes the *new* process's bind, not the stale port.
+    let _ = std::fs::remove_file(Path::new(state).join("addr"));
+    let child = prestage_cmd()
+        .args(["serve", "--state", state, "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    wait_for_addr(Path::new(state));
+    Daemon(child)
+}
+
+/// Block until the daemon has bound and published its address file.
+fn wait_for_addr(state: &Path) {
+    let addr = state.join("addr");
+    let t0 = Instant::now();
+    while !addr.exists() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "daemon never published {}",
+            addr.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// SIGINT the daemon and wait for it to drain and exit cleanly.
+fn interrupt_and_wait(daemon: &mut Daemon) {
+    let pid = daemon.0.id().to_string();
+    let ok = Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("spawn kill")
+        .success();
+    assert!(ok, "kill -INT {pid} failed");
+    let t0 = Instant::now();
+    loop {
+        if let Some(status) = daemon.0.try_wait().expect("try_wait") {
+            assert!(status.success(), "daemon exited non-zero after SIGINT");
+            return;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "daemon did not exit within 60s of SIGINT"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn resubmission_is_a_pure_cache_hit_byte_identical_to_run() {
+    let dir = TempDir::new("serve_cache_hit");
+    let state = dir.path("state");
+    let spec = spec_file();
+    let spec = spec.to_str().unwrap();
+    let mut daemon = spawn_daemon(&state, &["--workers", "2", "--job-cells", "3"]);
+
+    let first = dir.path("first.json");
+    assert_ok(
+        &prestage(&["submit", spec, "--state", &state, "--out", &first]),
+        "first submit",
+    );
+    let full = dir.path("full.json");
+    assert_ok(&prestage(&["run", spec, "--out", &full]), "run");
+    let full_bytes = std::fs::read(&full).unwrap();
+    assert!(!full_bytes.is_empty());
+    assert_eq!(
+        std::fs::read(&first).unwrap(),
+        full_bytes,
+        "served artifact differs from the single-process run"
+    );
+
+    // The identical spec again: zero jobs, answered from the cache alone,
+    // and still the same bytes.
+    let second = dir.path("second.json");
+    let out = prestage(&["submit", spec, "--state", &state, "--out", &second]);
+    assert_ok(&out, "resubmit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("0 job(s)") && stderr.contains("complete, served from cache"),
+        "resubmission must be a pure cache hit: {stderr}"
+    );
+    assert_eq!(std::fs::read(&second).unwrap(), full_bytes);
+
+    // Graceful shutdown: SIGINT drains, the address file is withdrawn,
+    // and the journal audits clean.
+    interrupt_and_wait(&mut daemon);
+    assert!(
+        !Path::new(&state).join("addr").exists(),
+        "daemon left its address file behind"
+    );
+    let out = prestage(&["serve", "--check", "--state", &state]);
+    assert_ok(&out, "serve --check");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("clean shutdown"),
+        "check should report the clean-shutdown marker"
+    );
+}
+
+#[test]
+fn overlapping_sweeps_share_cell_cache_entries() {
+    let dir = TempDir::new("serve_overlap");
+    let state = dir.path("state");
+    let spec = spec_file();
+    let spec = spec.to_str().unwrap();
+    // A superset sweep: same cells plus one more benchmark column
+    // (2 presets x 2 sizes x 3 benches = 12 cells, 8 shared).
+    let wide = dir.path("wide.json");
+    let text = std::fs::read_to_string(spec_file()).unwrap();
+    assert!(text.contains("\"mcf\""), "ci_shard spec changed shape");
+    std::fs::write(&wide, text.replace("\"mcf\"", "\"mcf\",\n    \"gap\"")).unwrap();
+
+    let mut daemon = spawn_daemon(&state, &["--workers", "2"]);
+    assert_ok(&prestage(&["submit", spec, "--state", &state, "--wait"]), "narrow submit");
+    let served = dir.path("served_wide.json");
+    let out = prestage(&["submit", &wide, "--state", &state, "--out", &served]);
+    assert_ok(&out, "wide submit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("12 cell(s)") && stderr.contains("8 cached"),
+        "overlapping sweep should find all 8 shared cells in the cache: {stderr}"
+    );
+
+    // Shared cells or not, the superset artifact is byte-identical to a
+    // fresh single-process run — cached cells are interchangeable.
+    let full = dir.path("full_wide.json");
+    assert_ok(&prestage(&["run", &wide, "--out", &full]), "wide run");
+    assert_eq!(
+        std::fs::read(&served).unwrap(),
+        std::fs::read(&full).unwrap(),
+        "superset sweep served from a warm cell cache differs from a cold run"
+    );
+    interrupt_and_wait(&mut daemon);
+}
+
+#[test]
+fn sigkill_midsweep_then_restart_resumes_to_identical_bytes() {
+    let dir = TempDir::new("serve_kill_resume");
+    let state = dir.path("state");
+    // Longer cells + one worker + one cell per job widen the window in
+    // which the kill lands mid-sweep.
+    let slow = dir.path("slow.json");
+    let text = std::fs::read_to_string(spec_file()).unwrap();
+    assert!(text.contains("\"measure_insts\": 10000"), "ci_shard spec changed shape");
+    std::fs::write(&slow, text.replace("\"measure_insts\": 10000", "\"measure_insts\": 60000"))
+        .unwrap();
+
+    let daemon = spawn_daemon(&state, &["--workers", "1", "--job-cells", "1"]);
+    let out = prestage(&["submit", &slow, "--state", &state]);
+    assert_ok(&out, "submit");
+    let sweep = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(!sweep.is_empty(), "submit printed no sweep id");
+
+    // Wait for the journal to record at least one finished job, then
+    // SIGKILL the daemon — no drain, no shutdown marker.
+    let journal = Path::new(&state).join("journal.jsonl");
+    let t0 = Instant::now();
+    loop {
+        let text = std::fs::read_to_string(&journal).unwrap_or_default();
+        if text.contains("job_done") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "no job finished within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(daemon); // Drop sends SIGKILL and reaps.
+
+    // The aborted state must audit loud, not clean.
+    let out = prestage(&["serve", "--check", "--state", &state]);
+    assert!(
+        !out.status.success(),
+        "serve --check must fail on a journal with no shutdown marker"
+    );
+
+    // Restart on the same state directory: the journal replays, unfinished
+    // jobs re-enqueue, and the sweep completes to the same bytes a single
+    // uninterrupted process produces.
+    let mut daemon = spawn_daemon(&state, &["--workers", "1", "--job-cells", "1"]);
+    let resumed = dir.path("resumed.json");
+    assert_ok(
+        &prestage(&["submit", &slow, "--state", &state, "--out", &resumed]),
+        "resubmit after restart",
+    );
+    let full = dir.path("full.json");
+    assert_ok(&prestage(&["run", &slow, "--out", &full]), "run");
+    assert_eq!(
+        std::fs::read(&resumed).unwrap(),
+        std::fs::read(&full).unwrap(),
+        "resumed sweep differs from an uninterrupted run"
+    );
+    interrupt_and_wait(&mut daemon);
+    assert_ok(&prestage(&["serve", "--check", "--state", &state]), "final check");
+}
+
+/// Regression test for results-dir anchoring: with no `--state`, the
+/// daemon and every client verb resolve the same state directory through
+/// `PRESTAGE_RESULTS_DIR` no matter which directory they run from.
+#[test]
+fn default_state_dir_follows_results_dir_not_cwd() {
+    let dir = TempDir::new("serve_anchor");
+    let results = dir.path("results");
+    let cwd_a = dir.path("cwd_a");
+    let cwd_b = dir.path("cwd_b");
+    std::fs::create_dir_all(&cwd_a).unwrap();
+    std::fs::create_dir_all(&cwd_b).unwrap();
+    let spec = spec_file();
+    let spec = spec.to_str().unwrap();
+
+    // Daemon from cwd_a, no --state: state must land under the results
+    // dir, not under cwd_a.
+    let child = prestage_cmd()
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "2"])
+        .env("PRESTAGE_RESULTS_DIR", &results)
+        .current_dir(&cwd_a)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let state = Path::new(&results).join("serve");
+    wait_for_addr(&state);
+    let mut daemon = Daemon(child);
+    assert!(
+        !Path::new(&cwd_a).join("results").exists(),
+        "daemon anchored its state to cwd instead of PRESTAGE_RESULTS_DIR"
+    );
+
+    // A client in a *different* cwd with the same env finds the daemon.
+    let served = dir.path("served.json");
+    let out = prestage_cmd()
+        .args(["submit", spec, "--out", &served])
+        .env("PRESTAGE_RESULTS_DIR", &results)
+        .current_dir(&cwd_b)
+        .output()
+        .expect("spawn submit");
+    assert_ok(&out, "submit via results-dir anchor");
+    let full = dir.path("full.json");
+    assert_ok(&prestage(&["run", spec, "--out", &full]), "run");
+    assert_eq!(std::fs::read(&served).unwrap(), std::fs::read(&full).unwrap());
+
+    interrupt_and_wait(&mut daemon);
+    let out = prestage_cmd()
+        .args(["serve", "--check"])
+        .env("PRESTAGE_RESULTS_DIR", &results)
+        .current_dir(&cwd_b)
+        .output()
+        .expect("spawn check");
+    assert_ok(&out, "serve --check via results-dir anchor");
+}

@@ -42,6 +42,7 @@ pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
 pub const WALLCLOCK_IN_SIM: &str = "wallclock-in-sim";
 pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
 pub const UNNAMED_REJECTION: &str = "unnamed-rejection";
+pub const MAP_IN_CYCLE_PATH: &str = "map-in-cycle-path";
 /// Meta-rule for malformed suppression pragmas; never suppressible.
 pub const PRAGMA: &str = "pragma";
 
@@ -76,6 +77,12 @@ pub const RULES: &[Rule] = &[
         summary: "panic!/assert! in parse/validate paths whose message names no \
                   field, offset or value — the loud-rejection policy, statically",
     },
+    Rule {
+        name: MAP_IN_CYCLE_PATH,
+        summary: "BTreeMap/HashMap (and the Set variants) in per-cycle simulator \
+                  files — the PR 9 raw-speed campaign replaced every one with flat \
+                  state; new hot-path maps need a pragma proving they are cold",
+    },
 ];
 
 pub fn rule_names() -> Vec<&'static str> {
@@ -109,6 +116,29 @@ const WALLCLOCK_ALLOWED: &[&str] = &[
     "crates/bench/",
     "crates/serve/",
     "crates/sim/src/runner.rs",
+];
+
+/// Files ticked every simulated cycle, subject to [`MAP_IN_CYCLE_PATH`]:
+/// the engine loop and everything it calls per cycle.  Tree/hash lookups
+/// here cost pointer chases and hashing on the hottest path in the repo;
+/// the flat replacements (rings, bitmaps, index-keyed vectors) are the
+/// required idiom.  Cold-path files of the same crates (spec parsing,
+/// config validation, reporting) are deliberately not listed.
+const CYCLE_PATH_FILES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/backend.rs",
+    "crates/core/src/frontend.rs",
+    "crates/core/src/queue.rs",
+    "crates/core/src/prefetch.rs",
+    "crates/core/src/buffer.rs",
+    "crates/cache/src/array.rs",
+    "crates/cache/src/bus.rs",
+    "crates/cache/src/lru.rs",
+    "crates/cache/src/port.rs",
+    "crates/bpred/src/predictor.rs",
+    "crates/bpred/src/gshare.rs",
+    "crates/bpred/src/ras.rs",
+    "crates/bpred/src/stream.rs",
 ];
 
 /// Parse/validate surfaces subject to [`UNNAMED_REJECTION`]: everything
@@ -386,6 +416,35 @@ pub fn run_rules(
         && REJECTION_PATHS.iter().any(|p| rel_path.starts_with(p))
     {
         check_rejections(rel_path, tokens, &regions, &mut out);
+    }
+
+    if on(MAP_IN_CYCLE_PATH) && CYCLE_PATH_FILES.contains(&rel_path) {
+        let mut in_use = false;
+        for i in 0..tokens.len() {
+            match ident(tokens, i) {
+                Some("use") if !matches!(punct(tokens, i.wrapping_sub(1)), Some('.')) => {
+                    in_use = true
+                }
+                Some(name @ ("BTreeMap" | "BTreeSet" | "HashMap" | "HashSet"))
+                    if !in_use && !in_test(&regions, tokens[i].line) =>
+                {
+                    out.push(finding(
+                        MAP_IN_CYCLE_PATH,
+                        &tokens[i],
+                        format!(
+                            "`{name}` in a per-cycle file — tree/hash lookups on the \
+                             hottest path; use a flat ring/bitmap/index-keyed vector, \
+                             or pragma with a proof the structure is touched off the \
+                             per-cycle path"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+            if punct(tokens, i) == Some(';') {
+                in_use = false;
+            }
+        }
     }
 
     out

@@ -1,0 +1,14 @@
+//! The hot-path-map bug class: tree/hash containers ticked every cycle.
+//! Minimized from the pre-PR-9 back-end (BTreeMap RUU bookkeeping) and
+//! bus (BTreeMap completion metadata) that the raw-speed campaign removed.
+
+use std::collections::{BTreeMap, HashSet};
+
+pub struct BackEnd {
+    /// Keyed by producer seq, walked every issue cycle.
+    pub last_writer: BTreeMap<u64, u64>,
+}
+
+pub fn touched_this_cycle(lines: &[u64]) -> HashSet<u64> {
+    lines.iter().copied().collect()
+}

@@ -1,0 +1,14 @@
+//! Clean counterpart: flat per-cycle state — index-keyed vectors and a
+//! bitmap — exactly the shapes the raw-speed campaign installed.
+
+pub struct BackEnd {
+    /// Keyed by architectural register index: flat, O(1), no hashing.
+    pub last_writer: Vec<u64>,
+    /// Waiting-entry bitmap: bit k covers deque index k.
+    pub waiting: u128,
+}
+
+pub fn touched_this_cycle(lines: &mut Vec<u64>) {
+    lines.sort_unstable();
+    lines.dedup();
+}

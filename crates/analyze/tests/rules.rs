@@ -181,6 +181,41 @@ fn unnamed_rejection_clean_fixture_is_silent() {
 }
 
 #[test]
+fn map_in_cycle_path_fires_in_per_cycle_files() {
+    let fs = run(
+        rules::MAP_IN_CYCLE_PATH,
+        "crates/sim/src/backend.rs",
+        "bad",
+        "map_in_cycle_path",
+    );
+    // One BTreeMap field + one HashSet return type; the `use` line itself
+    // must NOT fire (imports are not uses of the type).
+    assert_eq!(fs.len(), 2, "{fs:?}");
+    assert!(fs.iter().all(|f| f.rule == rules::MAP_IN_CYCLE_PATH));
+    assert!(fs.iter().all(|f| f.line > 5), "use line fired: {fs:?}");
+}
+
+#[test]
+fn map_in_cycle_path_only_applies_to_per_cycle_files() {
+    // The same maps in a cold-path file of the same crate (spec parsing)
+    // are fine — that is the nondeterministic-iteration rule's business.
+    let src = fixture("bad", "map_in_cycle_path");
+    let fs = analyze_source("crates/sim/src/spec.rs", &src, &[rules::MAP_IN_CYCLE_PATH]);
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn map_in_cycle_path_clean_fixture_is_silent() {
+    let fs = run(
+        rules::MAP_IN_CYCLE_PATH,
+        "crates/sim/src/backend.rs",
+        "ok",
+        "map_in_cycle_path",
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
 fn every_rule_has_a_firing_fixture() {
     // Belt and braces for the catalog: adding a rule without a bad
     // fixture fails here, not in review.
@@ -199,6 +234,7 @@ fn every_rule_has_a_firing_fixture() {
         (rules::WALLCLOCK_IN_SIM, "crates/sim/src/fixture.rs", "wallclock_in_sim"),
         (rules::UNWRAP_IN_LIB, "crates/core/src/fixture.rs", "unwrap_in_lib"),
         (rules::UNNAMED_REJECTION, "crates/json/src/fixture.rs", "unnamed_rejection"),
+        (rules::MAP_IN_CYCLE_PATH, "crates/sim/src/backend.rs", "map_in_cycle_path"),
     ];
     assert_eq!(homes.len(), prestage_analyze::RULES.len());
     for (rule, home, name) in homes {

@@ -4,15 +4,18 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prestage_cache::{L2Config, L2System};
 use prestage_cacti::TechNode;
-use prestage_core::{FrontEnd, FrontendConfig, PrefetcherKind};
+use prestage_core::{
+    ClgpPrefetcher, FdpPrefetcher, FrontEnd, FrontendConfig, InstrPrefetcher, NoPrefetcher,
+    PrefetcherKind,
+};
 
-fn drive(kind: PrefetcherKind, cycles: u64) -> u64 {
+fn drive<P: InstrPrefetcher>(kind: PrefetcherKind, cycles: u64) -> u64 {
     let mut cfg = FrontendConfig::base(TechNode::T045, 8 << 10);
     cfg.prefetcher = kind;
     if kind != PrefetcherKind::None {
         cfg.pb_entries = 4;
     }
-    let mut fe = FrontEnd::new(cfg);
+    let mut fe = FrontEnd::<P>::new(cfg);
     let mut l2 = L2System::new(L2Config::for_node(TechNode::T045));
     for i in 0..256u64 {
         l2.warm_fill(0x10000 + i * 64);
@@ -38,13 +41,15 @@ fn drive(kind: PrefetcherKind, cycles: u64) -> u64 {
 
 fn bench_frontend(c: &mut Criterion) {
     let mut g = c.benchmark_group("frontend/1k_cycles");
-    for (name, kind) in [
-        ("baseline", PrefetcherKind::None),
-        ("fdp", PrefetcherKind::Fdp),
-        ("clgp", PrefetcherKind::Clgp),
-    ] {
-        g.bench_function(name, |b| b.iter(|| black_box(drive(kind, 1_000))));
-    }
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(drive::<NoPrefetcher>(PrefetcherKind::None, 1_000)))
+    });
+    g.bench_function("fdp", |b| {
+        b.iter(|| black_box(drive::<FdpPrefetcher>(PrefetcherKind::Fdp, 1_000)))
+    });
+    g.bench_function("clgp", |b| {
+        b.iter(|| black_box(drive::<ClgpPrefetcher>(PrefetcherKind::Clgp, 1_000)))
+    });
     g.finish();
 }
 

@@ -10,15 +10,17 @@
 //! `bpred/*` micro-bench medians are folded into the same artifact — and
 //! the file is consumed, so stale medians from deleted benchmarks cannot
 //! leak into later runs — so one file tracks both grid IPC and hot-path
-//! latencies.  Movement beyond the bands prints GitHub `::warning::`
-//! annotations; the exit status stays 0 so noisy runners don't block
-//! merges.
+//! latencies.  Movement beyond the warning bands prints GitHub
+//! `::warning::` annotations; wall-clock regressions beyond the
+//! spread-derived failure threshold recorded in the baseline print
+//! `::error::` and exit nonzero — the warning→failure escalation the
+//! per-row spread data was collected for.
 //!
 //! The experiment itself is an `ExperimentSpec` (honouring the usual
 //! `PRESTAGE_*` override layer); a previous artifact can be supplied
 //! explicitly via `PRESTAGE_PREV_JSON=<path>`.
 
-use prestage_bench::perf::{diff, parse_medians_tsv, CellPerf, PerfReport, ServePerf};
+use prestage_bench::perf::{diff, load_baseline, parse_medians_tsv, CellPerf, PerfReport, ServePerf};
 use prestage_bench::{results_dir, size_label};
 use prestage_cacti::TechNode;
 use prestage_serve::{Dispatch, Response, Scheduler, ServeConfig};
@@ -230,11 +232,13 @@ fn main() {
     let serve = measure_serve(&spec);
     let total_wall_s = t0.elapsed().as_secs_f64();
 
+    let fail_threshold = PerfReport::derived_fail_threshold(&cells);
     let report = PerfReport {
         total_wall_s,
         cells,
         benches,
         serve,
+        fail_threshold,
     };
 
     println!("# CI mini-grid ({total_cells} cells incl. mechanism rows, {total_wall_s:.2}s)");
@@ -251,7 +255,11 @@ fn main() {
         );
     }
     for b in &report.benches {
-        println!("{:<30} median {:.1} ns/iter", b.name, b.median_ns);
+        let tp = match b.melem_s() {
+            Some(t) => format!(" ({t:.2} Melem/s)"),
+            None => String::new(),
+        };
+        println!("{:<30} median {:.1} ns/iter{tp}", b.name, b.median_ns);
     }
     if let Some(s) = &report.serve {
         println!(
@@ -259,30 +267,47 @@ fn main() {
             s.jobs_per_s, s.cache_hit_s
         );
     }
+    println!(
+        "spread-derived wall-clock failure threshold: {:.0}%",
+        100.0 * report.fail_threshold
+    );
 
     let path = results_dir().join("ci_grid.json");
     let prev_path = std::env::var_os("PRESTAGE_PREV_JSON")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| path.clone());
-    match std::fs::read_to_string(&prev_path)
-        .ok()
-        .and_then(|t| PerfReport::from_json(&t))
-    {
-        Some(prev) => {
-            let (deltas, warnings) = diff(&prev, &report);
-            println!("\n# vs previous run ({})", prev_path.display());
-            for d in &deltas {
-                println!("{d}");
+    // Upgrade-or-compare, explicitly: a readable baseline (current schema,
+    // or the previous one upgraded in place) is diffed; an unreadable one
+    // is *named* — never a silent skip that reads as "no movement".
+    let mut failed = false;
+    match std::fs::read_to_string(&prev_path) {
+        Err(_) => println!("\nno previous artifact at {} — baseline run", prev_path.display()),
+        Ok(text) => match load_baseline(&text) {
+            Err(why) => {
+                println!("\n::warning::ci_grid: {why}; treating this as a baseline run");
             }
-            for warn in &warnings {
-                // GitHub annotation; plain prefix everywhere else.
-                println!("::warning::ci_grid: {warn}");
+            Ok((prev, note)) => {
+                println!("\n# vs previous run ({})", prev_path.display());
+                if let Some(n) = note {
+                    println!("note: {n}");
+                }
+                let (deltas, warnings, failures) = diff(&prev, &report);
+                for d in &deltas {
+                    println!("{d}");
+                }
+                for warn in &warnings {
+                    // GitHub annotation; plain prefix everywhere else.
+                    println!("::warning::ci_grid: {warn}");
+                }
+                for fail in &failures {
+                    println!("::error::ci_grid: {fail}");
+                }
+                if warnings.is_empty() && failures.is_empty() {
+                    println!("no movement beyond the warning bands");
+                }
+                failed = !failures.is_empty();
             }
-            if warnings.is_empty() {
-                println!("no movement beyond the warning bands");
-            }
-        }
-        None => println!("\nno previous artifact at {} — baseline run", prev_path.display()),
+        },
     }
 
     std::fs::create_dir_all(results_dir()).expect("results dir creatable");
@@ -295,4 +320,9 @@ fn main() {
         let _ = std::fs::remove_file(&medians_path);
     }
     println!("\nwrote {}", path.display());
+    if failed {
+        // The artifact is written first: the failing run's numbers are
+        // preserved for the next comparison and for the investigation.
+        std::process::exit(1);
+    }
 }

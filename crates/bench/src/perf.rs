@@ -5,9 +5,10 @@
 //!
 //! Serialization rides the shared [`prestage_json`] module (the original
 //! hand-rolled line scanner this module started as was promoted there).
-//! Anything that does not parse as a complete schema-2 report — a future
-//! schema, a truncated cache restore — reads as "no baseline" rather than
-//! silently comparing less.
+//! Baselines load through [`load_baseline`]: the previous schema (4) is
+//! upgraded in place so one schema bump never costs a comparison, and
+//! anything else — an older schema, damaged JSON, a truncation — is a
+//! *named* error rather than a silent "no baseline".
 //!
 //! Micro-bench medians arrive via the Criterion shim's
 //! `CRITERION_MEDIANS_FILE` hook (vendor/criterion): each
@@ -54,6 +55,22 @@ impl CellPerf {
 pub struct BenchMedian {
     pub name: String,
     pub median_ns: f64,
+    /// Elements processed per iteration when the bench declared a
+    /// throughput (`0` = unknown / not element-based).
+    pub elems: u64,
+    /// The shim's measurement policy (e.g. `"min-median:rounds=5,warmup=3"`);
+    /// empty when the median predates policy recording.
+    pub policy: String,
+}
+
+impl BenchMedian {
+    /// Throughput in Melem/s, when the element count is known.
+    pub fn melem_s(&self) -> Option<f64> {
+        if self.elems == 0 || self.median_ns <= 0.0 || self.median_ns.is_nan() {
+            return None;
+        }
+        Some(self.elems as f64 * 1_000.0 / self.median_ns)
+    }
 }
 
 /// Throughput of the `prestage serve` orchestrator on this host, measured
@@ -81,13 +98,22 @@ pub struct PerfReport {
     /// Serve-orchestrator throughput; `None` when the measurement was
     /// skipped (serialized as JSON `null`).
     pub serve: Option<ServePerf>,
+    /// Hard-failure threshold for wall-clock regressions, derived from
+    /// this run's recorded per-row spreads (see
+    /// [`PerfReport::derived_fail_threshold`]).  Recorded in the artifact
+    /// so the *next* run fails against the noise envelope this host
+    /// actually measured, not a guessed constant.
+    pub fail_threshold: f64,
 }
 
 /// Current artifact schema.  2 added the `benches` section; 3 added the
 /// per-row min/max cell wall-clock (noise characterization); 4 added the
-/// `serve` orchestrator-throughput section.  Earlier-schema baselines
-/// read as "no baseline" for one run after an upgrade.
-pub const PERF_SCHEMA: u32 = 4;
+/// `serve` orchestrator-throughput section; 5 added per-bench
+/// `elems`/`policy` (throughput + measurement-policy provenance) and the
+/// spread-derived `fail_threshold`.  A schema-4 baseline is upgraded in
+/// place by [`load_baseline`]; anything older reads as a *named* schema
+/// mismatch, never a silent "no baseline".
+pub const PERF_SCHEMA: u32 = 5;
 
 /// Relative change `new/old - 1`, with a zero/zero as no change and a
 /// from-zero jump as +inf.
@@ -104,10 +130,22 @@ fn rel_delta(old: f64, new: f64) -> f64 {
 }
 
 impl PerfReport {
+    /// Derive the wall-clock hard-failure threshold from recorded per-row
+    /// spreads: a regression only fails the gate when it exceeds the
+    /// noise envelope this host demonstrably produces *within one run*,
+    /// with a 1.5x margin.  Clamped to `[0.15, 0.60]`: the floor keeps the
+    /// gate above the 10% warning band, the ceiling stops one wild row
+    /// from disabling the gate entirely.
+    pub fn derived_fail_threshold(cells: &[CellPerf]) -> f64 {
+        let max_spread = cells.iter().map(CellPerf::wall_spread).fold(0.0, f64::max);
+        (1.5 * max_spread).clamp(0.15, 0.60)
+    }
+
     pub fn to_json(&self) -> String {
         Json::obj([
             ("schema", u64::from(PERF_SCHEMA).into()),
             ("total_wall_s", self.total_wall_s.into()),
+            ("fail_threshold", self.fail_threshold.into()),
             (
                 "cells",
                 Json::Arr(
@@ -135,6 +173,8 @@ impl PerfReport {
                             Json::obj([
                                 ("name", b.name.as_str().into()),
                                 ("median_ns", b.median_ns.into()),
+                                ("elems", b.elems.into()),
+                                ("policy", b.policy.as_str().into()),
                             ])
                         })
                         .collect(),
@@ -157,12 +197,20 @@ impl PerfReport {
     /// Parse a report previously written by [`PerfReport::to_json`].
     /// Returns `None` on anything that does not look like a complete
     /// current-schema report, so CI treats a stale or damaged artifact as
-    /// "no baseline" rather than silently comparing less.
+    /// "no baseline" rather than silently comparing less.  For baseline
+    /// loading with explicit schema-4 upgrade, use [`load_baseline`].
     pub fn from_json(text: &str) -> Option<PerfReport> {
         let v = Json::parse(text).ok()?;
         if v.get("schema")?.as_u64()? as u32 != PERF_SCHEMA {
             return None;
         }
+        Self::parse_with_schema(&v, PERF_SCHEMA)
+    }
+
+    /// Shared body for schema 5 (current) and schema 4 (upgrade path):
+    /// schema 4 lacks per-bench `elems`/`policy` and the recorded
+    /// `fail_threshold`, so those default to unknown / derived.
+    fn parse_with_schema(v: &Json, schema: u32) -> Option<PerfReport> {
         let cells = v
             .get("cells")?
             .as_arr()?
@@ -189,6 +237,16 @@ impl PerfReport {
                 Some(BenchMedian {
                     name: b.get("name")?.as_str()?.to_string(),
                     median_ns: b.get("median_ns")?.as_f64()?,
+                    elems: if schema >= 5 {
+                        b.get("elems")?.as_u64()?
+                    } else {
+                        0
+                    },
+                    policy: if schema >= 5 {
+                        b.get("policy")?.as_str()?.to_string()
+                    } else {
+                        String::new()
+                    },
                 })
             })
             .collect::<Option<Vec<_>>>()?;
@@ -199,17 +257,61 @@ impl PerfReport {
                 cache_hit_s: s.get("cache_hit_s")?.as_f64()?,
             }),
         };
+        let fail_threshold = if schema >= 5 {
+            v.get("fail_threshold")?.as_f64()?
+        } else {
+            Self::derived_fail_threshold(&cells)
+        };
         Some(PerfReport {
             total_wall_s: v.get("total_wall_s")?.as_f64()?,
             cells,
             benches,
             serve,
+            fail_threshold,
         })
     }
 }
 
-/// Parse the Criterion shim's medians file: one `name<TAB>median_ns` line
-/// per benchmark, later lines winning on re-run (append semantics).
+/// Load a baseline artifact for comparison: upgrade-or-compare,
+/// explicitly.  A current-schema report parses as-is; a schema-4 report
+/// is upgraded in place (bench throughput/policy unknown, threshold
+/// derived from its recorded spreads) with a note saying so; anything
+/// else — an older schema, a future schema, damaged JSON — is a *named*
+/// error, so CI output states exactly why no comparison happened instead
+/// of silently skipping it.
+pub fn load_baseline(text: &str) -> Result<(PerfReport, Option<String>), String> {
+    let v = Json::parse(text).map_err(|e| format!("baseline artifact is not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or("baseline artifact has no in-range numeric `schema` field")?;
+    match schema {
+        PERF_SCHEMA => PerfReport::parse_with_schema(&v, PERF_SCHEMA)
+            .map(|r| (r, None))
+            .ok_or_else(|| format!("baseline artifact is schema {PERF_SCHEMA} but incomplete")),
+        4 => PerfReport::parse_with_schema(&v, 4)
+            .map(|r| {
+                let note = format!(
+                    "baseline artifact upgraded from schema 4 to {PERF_SCHEMA} \
+                     (bench throughput/policy unknown; fail threshold {:.0}% derived \
+                     from its recorded spreads)",
+                    100.0 * r.fail_threshold
+                );
+                (r, Some(note))
+            })
+            .ok_or_else(|| "baseline artifact is schema 4 but incomplete".to_string()),
+        n => Err(format!(
+            "baseline artifact is schema {n}, this build reads {PERF_SCHEMA} \
+             (upgradeable: 4) — regenerate the baseline"
+        )),
+    }
+}
+
+/// Parse the Criterion shim's medians file: one
+/// `name<TAB>median_ns[<TAB>elems<TAB>policy]` line per benchmark, later
+/// lines winning on re-run (append semantics).  The two-column form is the
+/// pre-policy shim's output and reads as unknown throughput/policy.
 /// Malformed lines are a loud error — the file is machine-written, so
 /// damage means the pipeline is broken.
 pub fn parse_medians_tsv(text: &str) -> Result<Vec<BenchMedian>, String> {
@@ -218,19 +320,35 @@ pub fn parse_medians_tsv(text: &str) -> Result<Vec<BenchMedian>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let (name, ns) = line
-            .split_once('\t')
+        let mut fields = line.split('\t');
+        // `split` always yields at least one field; the empty fallback
+        // only keeps this panic-free.
+        let name = fields.next().unwrap_or("");
+        let ns = fields
+            .next()
             .ok_or_else(|| format!("medians line {} has no tab: {line:?}", i + 1))?;
         let median_ns: f64 = ns
             .trim()
             .parse()
             .map_err(|_| format!("medians line {} has a bad number: {line:?}", i + 1))?;
+        let (elems, policy) = match (fields.next(), fields.next()) {
+            (None, _) => (0, String::new()),
+            (Some(e), p) => (
+                e.trim().parse::<u64>().map_err(|_| {
+                    format!("medians line {} has a bad element count: {line:?}", i + 1)
+                })?,
+                p.unwrap_or("").trim().to_string(),
+            ),
+        };
+        let parsed = BenchMedian {
+            name: name.to_string(),
+            median_ns,
+            elems,
+            policy,
+        };
         match out.iter_mut().find(|b| b.name == name) {
-            Some(b) => b.median_ns = median_ns,
-            None => out.push(BenchMedian {
-                name: name.to_string(),
-                median_ns,
-            }),
+            Some(b) => *b = parsed,
+            None => out.push(parsed),
         }
     }
     Ok(out)
@@ -246,14 +364,21 @@ const BENCH_WARN: f64 = 0.25;
 /// Compare `new` against `old`, matching grid rows by (preset, l1) and
 /// micro-benches by name.
 ///
-/// Returns `(deltas, warnings)`: every row's movement as a human-readable
-/// line, and the subset that moved too much — grid IPC in *either*
-/// direction and cell wall-clock up beyond 10%, micro-bench medians up
-/// beyond 25%.  A row present in the baseline but missing from `new` also
-/// warns: its regression coverage silently vanished.
-pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
+/// Returns `(deltas, warnings, failures)`: every row's movement as a
+/// human-readable line; the subset that moved beyond the warning bands —
+/// grid IPC in *either* direction and cell wall-clock up beyond 10%,
+/// micro-bench medians up beyond 25%; and the subset of wall-clock
+/// regressions beyond the spread-derived failure threshold (the larger of
+/// the two runs' recorded [`PerfReport::fail_threshold`]s, so a noisy
+/// *current* run cannot fail against a quiet baseline's envelope).
+/// Failures are the gate: ci_grid exits nonzero on any.  A row present in
+/// the baseline but missing from `new` warns: its regression coverage
+/// silently vanished.
+pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>, Vec<String>) {
     let mut deltas = Vec::new();
     let mut warnings = Vec::new();
+    let mut failures = Vec::new();
+    let fail_at = old.fail_threshold.max(new.fail_threshold);
     for prev in &old.cells {
         if !new
             .cells
@@ -300,7 +425,17 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
                 c.hmean_ipc
             ));
         }
-        if d_wall > GRID_WARN {
+        if d_wall > fail_at {
+            failures.push(format!(
+                "{} @ {}B: median cell wall-clock up {:.1}% ({:.4}s -> {:.4}s), beyond the {:.0}% spread-derived threshold",
+                c.preset,
+                c.l1,
+                100.0 * d_wall,
+                prev.median_cell_wall_s,
+                c.median_cell_wall_s,
+                100.0 * fail_at,
+            ));
+        } else if d_wall > GRID_WARN {
             warnings.push(format!(
                 "{} @ {}B: median cell wall-clock up {:.1}% ({:.4}s -> {:.4}s)",
                 c.preset,
@@ -325,11 +460,27 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
             continue;
         };
         let d = rel_delta(prev.median_ns, b.median_ns);
+        let tp = match (prev.melem_s(), b.melem_s()) {
+            (Some(o), Some(n)) => format!(", {o:.2} -> {n:.2} Melem/s"),
+            _ => String::new(),
+        };
         deltas.push(format!(
-            "bench {}: median {:.1}ns -> {:.1}ns ({:+.1}%)",
+            "bench {}: median {:.1}ns -> {:.1}ns ({:+.1}%){tp}",
             b.name, prev.median_ns, b.median_ns, 100.0 * d
         ));
-        if d > BENCH_WARN {
+        // Micro-bench medians ride a warn band 2.5x the grid's, so their
+        // failure threshold scales by the same factor.
+        let bench_fail = (fail_at * BENCH_WARN / GRID_WARN).max(BENCH_WARN);
+        if d > bench_fail {
+            failures.push(format!(
+                "bench {}: median latency up {:.1}% ({:.1}ns -> {:.1}ns), beyond the {:.0}% spread-derived threshold",
+                b.name,
+                100.0 * d,
+                prev.median_ns,
+                b.median_ns,
+                100.0 * bench_fail,
+            ));
+        } else if d > BENCH_WARN {
             warnings.push(format!(
                 "bench {}: median latency up {:.1}% ({:.1}ns -> {:.1}ns)",
                 b.name,
@@ -380,7 +531,7 @@ pub fn diff(old: &PerfReport, new: &PerfReport) -> (Vec<String>, Vec<String>) {
         )),
         (None, None) => {}
     }
-    (deltas, warnings)
+    (deltas, warnings, failures)
 }
 
 #[cfg(test)]
@@ -411,8 +562,11 @@ mod tests {
             benches: vec![BenchMedian {
                 name: "engine/crafty_20k".into(),
                 median_ns: 6_420_000.0,
+                elems: 20_000,
+                policy: "min-median:rounds=5,warmup=3".into(),
             }],
             serve: None,
+            fail_threshold: 0.20,
         }
     }
 
@@ -429,8 +583,135 @@ mod tests {
         assert!(PerfReport::from_json("not json at all").is_none());
         let other = report(1.0, 1.0)
             .to_json()
-            .replace("\"schema\": 4", "\"schema\": 2");
+            .replace("\"schema\": 5", "\"schema\": 2");
         assert!(PerfReport::from_json(&other).is_none());
+    }
+
+    /// A schema-4 artifact (the previous release's format, without bench
+    /// elems/policy or a recorded threshold) must read as the current
+    /// schema's shape.
+    fn schema4_json() -> String {
+        let mut r = report(1.0, 0.01);
+        r.benches[0].elems = 0;
+        r.benches[0].policy = String::new();
+        r.to_json()
+            .replace("\"schema\": 5", "\"schema\": 4")
+            .lines()
+            .filter(|l| {
+                !l.contains("\"elems\"")
+                    && !l.contains("\"policy\"")
+                    && !l.contains("\"fail_threshold\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            // Dropping the last field of the bench object leaves a
+            // trailing comma on `median_ns`.
+            .replace("\"median_ns\": 6420000.0,", "\"median_ns\": 6420000.0")
+    }
+
+    #[test]
+    fn baseline_upgrades_schema_4_and_names_everything_else() {
+        // Schema 5 loads clean, no note.
+        let five = report(1.0, 0.01);
+        let (loaded, note) = load_baseline(&five.to_json()).expect("current schema loads");
+        assert_eq!(loaded, five);
+        assert!(note.is_none());
+
+        // Schema 4 upgrades: unknown bench throughput/policy, threshold
+        // derived from its recorded spreads, and a note saying so.
+        let (up, note) = load_baseline(&schema4_json()).expect("schema 4 upgrades");
+        let note = note.expect("upgrade is announced");
+        assert!(note.contains("schema 4"), "{note}");
+        assert_eq!(up.benches[0].elems, 0);
+        assert!(up.benches[0].policy.is_empty());
+        assert_eq!(
+            up.fail_threshold,
+            PerfReport::derived_fail_threshold(&up.cells)
+        );
+        // The upgraded baseline diffs against a current report without
+        // spurious warnings: the schema boundary costs nothing.
+        let (deltas, warnings, failures) = diff(&up, &report(1.0, 0.01));
+        assert!(!deltas.is_empty());
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // Everything else is a *named* refusal, not a silent skip.
+        let e = load_baseline("not json").unwrap_err();
+        assert!(e.contains("not JSON"), "{e}");
+        let two = report(1.0, 1.0)
+            .to_json()
+            .replace("\"schema\": 5", "\"schema\": 2");
+        let e = load_baseline(&two).unwrap_err();
+        assert!(e.contains("schema 2"), "{e}");
+        let e = load_baseline("{\"schema\": true}").unwrap_err();
+        assert!(e.contains("schema"), "{e}");
+    }
+
+    #[test]
+    fn threshold_derivation_tracks_recorded_spread() {
+        // Quiet rows: the floor holds.
+        let mut r = report(1.0, 0.01);
+        r.cells[0].min_cell_wall_s = 0.0099;
+        r.cells[0].max_cell_wall_s = 0.0101;
+        r.cells[1].min_cell_wall_s = 0.0199;
+        r.cells[1].max_cell_wall_s = 0.0201;
+        assert_eq!(PerfReport::derived_fail_threshold(&r.cells), 0.15);
+        // A 30% within-run spread raises the threshold to 45%.
+        r.cells[1].min_cell_wall_s = 0.020;
+        r.cells[1].max_cell_wall_s = 0.026;
+        let t = PerfReport::derived_fail_threshold(&r.cells);
+        assert!((t - 0.45).abs() < 1e-9, "{t}");
+        // One wild row cannot disable the gate: capped at 60%.
+        r.cells[1].max_cell_wall_s = 0.2;
+        assert_eq!(PerfReport::derived_fail_threshold(&r.cells), 0.60);
+    }
+
+    #[test]
+    fn regressions_beyond_the_derived_threshold_fail_not_warn() {
+        let old = report(1.00, 0.0100); // fail_threshold 0.20
+        // +15% wall: warned, not failed.
+        let (_, warnings, failures) = diff(&old, &report(1.00, 0.0115));
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(failures.is_empty(), "{failures:?}");
+        // +30% wall: beyond the 20% threshold — a hard failure, and not
+        // double-reported as a warning.
+        let (_, warnings, failures) = diff(&old, &report(1.00, 0.0130));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("spread-derived threshold"), "{failures:?}");
+        // A noisy *current* run widens the gate instead of tripping it:
+        // same +30%, but the new run recorded a 40% threshold itself.
+        let mut noisy = report(1.00, 0.0130);
+        noisy.fail_threshold = 0.40;
+        let (_, warnings, failures) = diff(&old, &noisy);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(failures.is_empty(), "{failures:?}");
+        // Bench medians escalate with a 2.5x-scaled threshold (their warn
+        // band is 2.5x the grid's): +30% warns, +60% fails.
+        let mut slow = report(1.00, 0.0100);
+        slow.benches[0].median_ns *= 1.30;
+        let (_, warnings, failures) = diff(&old, &slow);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(failures.is_empty(), "{failures:?}");
+        let mut slower = report(1.00, 0.0100);
+        slower.benches[0].median_ns *= 1.60;
+        let (_, warnings, failures) = diff(&old, &slower);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    #[test]
+    fn bench_throughput_derives_from_elems() {
+        let r = report(1.0, 0.01);
+        // 20k elems / 6.42ms = ~3.115 Melem/s.
+        let tp = r.benches[0].melem_s().unwrap();
+        assert!((tp - 3.115).abs() < 0.01, "{tp}");
+        let mut unknown = r.benches[0].clone();
+        unknown.elems = 0;
+        assert!(unknown.melem_s().is_none());
+        // Throughput shows up in the human-readable deltas.
+        let (deltas, _, _) = diff(&r, &r);
+        assert!(deltas.iter().any(|d| d.contains("Melem/s")), "{deltas:?}");
     }
 
     #[test]
@@ -446,18 +727,18 @@ mod tests {
     fn diff_flags_only_large_movement() {
         let old = report(1.00, 0.0100);
         // 5% slower wall, 5% lower IPC: reported, not warned.
-        let (deltas, warnings) = diff(&old, &report(0.95, 0.0105));
+        let (deltas, warnings, _) = diff(&old, &report(0.95, 0.0105));
         assert_eq!(deltas.len(), 3);
         assert!(warnings.is_empty(), "{warnings:?}");
         // 15% lower IPC and 20% slower: both warned.
-        let (_, warnings) = diff(&old, &report(0.85, 0.0120));
+        let (_, warnings, _) = diff(&old, &report(0.85, 0.0120));
         assert_eq!(warnings.len(), 2, "{warnings:?}");
         // IPC is deterministic — a large *increase* is behaviour change too.
-        let (_, warnings) = diff(&old, &report(1.30, 0.0080));
+        let (_, warnings, _) = diff(&old, &report(1.30, 0.0080));
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("IPC moved"));
         // Faster wall-clock alone never warns.
-        let (_, warnings) = diff(&old, &report(1.00, 0.0050));
+        let (_, warnings, _) = diff(&old, &report(1.00, 0.0050));
         assert!(warnings.is_empty(), "{warnings:?}");
     }
 
@@ -471,7 +752,7 @@ mod tests {
         let back = PerfReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back.cells[0].min_cell_wall_s, r.cells[0].min_cell_wall_s);
         assert_eq!(back.cells[0].max_cell_wall_s, r.cells[0].max_cell_wall_s);
-        let (deltas, _) = diff(&r, &r);
+        let (deltas, _, _) = diff(&r, &r);
         assert!(deltas[0].contains("spread"), "{deltas:?}");
     }
 
@@ -481,24 +762,24 @@ mod tests {
         // 20% slower micro-bench: inside the noise band, no warning.
         let mut new = report(1.0, 0.01);
         new.benches[0].median_ns *= 1.20;
-        let (deltas, warnings) = diff(&old, &new);
+        let (deltas, warnings, _) = diff(&old, &new);
         assert!(deltas.iter().any(|d| d.contains("engine/crafty_20k")));
         assert!(warnings.is_empty(), "{warnings:?}");
         // 30% slower: warned.
         let mut new = report(1.0, 0.01);
         new.benches[0].median_ns *= 1.30;
-        let (_, warnings) = diff(&old, &new);
+        let (_, warnings, _) = diff(&old, &new);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("median latency up"));
         // 30% *faster* micro-bench never warns.
         let mut new = report(1.0, 0.01);
         new.benches[0].median_ns *= 0.70;
-        let (_, warnings) = diff(&old, &new);
+        let (_, warnings, _) = diff(&old, &new);
         assert!(warnings.is_empty(), "{warnings:?}");
         // A median that vanished from the run warns (coverage lost).
         let mut new = report(1.0, 0.01);
         new.benches.clear();
-        let (_, warnings) = diff(&old, &new);
+        let (_, warnings, _) = diff(&old, &new);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("missing from this run"));
     }
@@ -510,8 +791,9 @@ mod tests {
             cells: vec![],
             benches: vec![],
             serve: None,
+            fail_threshold: 0.15,
         };
-        let (deltas, warnings) = diff(&old, &report(1.0, 0.01));
+        let (deltas, warnings, _) = diff(&old, &report(1.0, 0.01));
         assert_eq!(deltas.len(), 3);
         assert!(deltas[0].contains("no baseline"));
         assert!(warnings.is_empty());
@@ -519,7 +801,7 @@ mod tests {
         // coverage silently disappeared.
         let mut shrunk = report(1.0, 0.01);
         shrunk.cells.truncate(1);
-        let (_, warnings) = diff(&report(1.0, 0.01), &shrunk);
+        let (_, warnings, _) = diff(&report(1.0, 0.01), &shrunk);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("missing from this run"));
     }
@@ -544,7 +826,7 @@ mod tests {
             jobs_per_s: 13.0,
             cache_hit_s: 0.0032,
         });
-        let (deltas, warnings) = diff(&r, &faster);
+        let (deltas, warnings, _) = diff(&r, &faster);
         assert!(deltas.iter().any(|d| d.contains("jobs/s")), "{deltas:?}");
         assert!(warnings.is_empty(), "{warnings:?}");
         // Throughput down 40% / cache-hit up 2x: both warned.
@@ -553,15 +835,15 @@ mod tests {
             jobs_per_s: 7.5,
             cache_hit_s: 0.006,
         });
-        let (_, warnings) = diff(&r, &slow);
+        let (_, warnings, _) = diff(&r, &slow);
         assert_eq!(warnings.len(), 2, "{warnings:?}");
         assert!(warnings[0].contains("throughput down"));
         assert!(warnings[1].contains("cache-hit latency up"));
         // Section vanishing is lost coverage; appearing is just new data.
-        let (_, warnings) = diff(&r, &report(1.0, 0.01));
+        let (_, warnings, _) = diff(&r, &report(1.0, 0.01));
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("missing from this run"));
-        let (deltas, warnings) = diff(&report(1.0, 0.01), &r);
+        let (deltas, warnings, _) = diff(&report(1.0, 0.01), &r);
         assert!(warnings.is_empty(), "{warnings:?}");
         assert!(
             deltas.iter().any(|d| d.contains("no baseline")),

@@ -215,10 +215,45 @@ impl FetchBlockPredictor for StreamPredictor {
     type Checkpoint = PredCheckpoint;
 
     fn predict(&mut self, start: Addr, prog: &Program) -> StreamPrediction {
-        self.stats.predictions += 1;
         let (i1, t1) = self.l1_index(start);
         let (i2, t2) = self.l2_index(start, self.history);
+        self.predict_at(i1, t1, i2, t2, start, prog)
+    }
 
+    fn train(&mut self, actual: &StreamDesc) {
+        // Trait-level train without a token: PC-indexed level only.  The
+        // engine uses `train_with_token` for full cascade training; this
+        // entry point exists for warm-up passes.
+        let (i1, t1) = self.l1_index(actual.start);
+        let conf_max = self.cfg.conf_max;
+        Self::train_entry(&mut self.l1[i1], t1, actual, conf_max);
+    }
+
+    fn checkpoint(&self) -> PredCheckpoint {
+        PredCheckpoint {
+            history: self.history,
+            ras: self.ras.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, cp: &PredCheckpoint) {
+        self.history = cp.history;
+        self.ras.restore(&cp.ras);
+    }
+}
+
+impl StreamPredictor {
+    /// Shared prediction body over precomputed table indices/tags.
+    fn predict_at(
+        &mut self,
+        i1: usize,
+        t1: u32,
+        i2: usize,
+        t2: u32,
+        start: Addr,
+        prog: &Program,
+    ) -> StreamPrediction {
+        self.stats.predictions += 1;
         let l2e = self.l2[i2];
         let l1e = self.l1[i1];
         let (mut stream, table_hit, from_l2) = if l2e.valid && l2e.tag == t2 {
@@ -246,29 +281,23 @@ impl FetchBlockPredictor for StreamPredictor {
         }
     }
 
-    fn train(&mut self, actual: &StreamDesc) {
-        // Trait-level train without a token: PC-indexed level only.  The
-        // engine uses `train_with_token` for full cascade training; this
-        // entry point exists for warm-up passes.
-        let (i1, t1) = self.l1_index(actual.start);
-        let conf_max = self.cfg.conf_max;
-        Self::train_entry(&mut self.l1[i1], t1, actual, conf_max);
+    /// [`FetchBlockPredictor::predict`] reusing the table indices already
+    /// computed for `tok` — which must have been captured by
+    /// [`token`](Self::token) at this `start` with the current speculative
+    /// history.  The on-path flow always takes a token for training, so
+    /// this skips recomputing both index/tag pairs (the history-indexed
+    /// level costs a 64-bit modulo per computation).
+    pub fn predict_with_token(
+        &mut self,
+        tok: &TrainToken,
+        start: Addr,
+        prog: &Program,
+    ) -> StreamPrediction {
+        debug_assert_eq!((tok.l1_idx, tok.l1_tag), self.l1_index(start));
+        debug_assert_eq!((tok.l2_idx, tok.l2_tag), self.l2_index(start, self.history));
+        self.predict_at(tok.l1_idx, tok.l1_tag, tok.l2_idx, tok.l2_tag, start, prog)
     }
 
-    fn checkpoint(&self) -> PredCheckpoint {
-        PredCheckpoint {
-            history: self.history,
-            ras: self.ras.snapshot(),
-        }
-    }
-
-    fn restore(&mut self, cp: &PredCheckpoint) {
-        self.history = cp.history;
-        self.ras.restore(&cp.ras);
-    }
-}
-
-impl StreamPredictor {
     /// Capture the training context for a prediction made at `start` with
     /// the *current* speculative history (call before `predict`).
     pub fn token(&self, start: Addr) -> TrainToken {

@@ -15,13 +15,35 @@ pub struct ReturnAddressStack {
     depth: usize,
 }
 
+/// Largest supported RAS: snapshots inline this many entries so that
+/// checkpointing — which the engine does for every on-path fetch block —
+/// never touches the heap.
+pub const MAX_RAS_ENTRIES: usize = 16;
+
 /// A full copy of the RAS — at 8 entries, copying is cheaper than any
-/// cleverness, and restoring is exact even across overflows.
-pub type RasSnapshot = ReturnAddressStack;
+/// cleverness, and restoring is exact even across overflows.  The entries
+/// live in a fixed inline array (`MAX_RAS_ENTRIES`) so taking a snapshot
+/// is a flat memcpy with no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RasSnapshot {
+    entries: [Addr; MAX_RAS_ENTRIES],
+    top: usize,
+    depth: usize,
+}
+
+impl RasSnapshot {
+    /// Live entries at the time the snapshot was taken.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
 
 impl ReturnAddressStack {
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1);
+        assert!(
+            (1..=MAX_RAS_ENTRIES).contains(&capacity),
+            "RAS capacity {capacity} outside the supported 1..={MAX_RAS_ENTRIES}"
+        );
         ReturnAddressStack {
             entries: vec![0; capacity],
             top: 0,
@@ -61,11 +83,19 @@ impl ReturnAddressStack {
     }
 
     pub fn snapshot(&self) -> RasSnapshot {
-        self.clone()
+        let mut entries = [0; MAX_RAS_ENTRIES];
+        entries[..self.entries.len()].copy_from_slice(&self.entries);
+        RasSnapshot {
+            entries,
+            top: self.top,
+            depth: self.depth,
+        }
     }
 
+    /// Restore from a snapshot taken on a RAS of the same capacity.
     pub fn restore(&mut self, snap: &RasSnapshot) {
-        self.entries.copy_from_slice(&snap.entries);
+        let n = self.entries.len();
+        self.entries.copy_from_slice(&snap.entries[..n]);
         self.top = snap.top;
         self.depth = snap.depth;
     }

@@ -21,7 +21,7 @@ use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
 use prestage_isa::{align_line, Addr};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// Requestor classes, in strictly decreasing bus priority.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -132,6 +132,24 @@ impl PartialOrd for Pending {
     }
 }
 
+/// A granted request waiting for its data, ordered by ready time (ties by
+/// request seq).  Carries the full [`Completion`] so the completion phase
+/// needs no side lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Inflight(Completion);
+
+impl Ord for Inflight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.ready_at, self.0.id).cmp(&(other.0.ready_at, other.0.id))
+    }
+}
+
+impl PartialOrd for Inflight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The unified L2 cache, its bus, and main memory.
 #[derive(Debug)]
 pub struct L2System {
@@ -139,13 +157,18 @@ pub struct L2System {
     l2: SetAssocCache,
     /// Requests awaiting a bus grant, by (class, seq).
     queue: BinaryHeap<Reverse<Pending>>,
-    /// Requests granted, waiting for data, by ready time.
-    inflight: BinaryHeap<Reverse<(u64, u64)>>, // (ready_at, seq into `meta`)
-    meta: BTreeMap<u64, Completion>,
+    /// Requests granted, waiting for data, by (ready time, seq).
+    inflight: BinaryHeap<Reverse<Inflight>>,
     /// Outstanding (queued or in-flight) read requests by line, for dedup.
-    by_line: BTreeMap<Addr, ReqId>,
+    /// A flat list — outstanding reads number in the tens at most, and a
+    /// cache-line scan beats tree chasing on the per-cycle path.
+    by_line: Vec<(Addr, ReqId)>,
     next_seq: u64,
     stats: BusStats,
+    /// Grant-phase scratch: requests popped but not yet eligible this
+    /// cycle.  Persistent so the per-cycle [`tick_into`](Self::tick_into)
+    /// path never allocates.
+    deferred: Vec<Pending>,
 }
 
 impl L2System {
@@ -155,10 +178,10 @@ impl L2System {
             l2: SetAssocCache::new(cfg.capacity, cfg.line, cfg.assoc),
             queue: BinaryHeap::new(),
             inflight: BinaryHeap::new(),
-            meta: BTreeMap::new(),
-            by_line: BTreeMap::new(),
+            by_line: Vec::new(),
             next_seq: 0,
             stats: BusStats::default(),
+            deferred: Vec::new(),
         }
     }
 
@@ -181,7 +204,9 @@ impl L2System {
             line,
             writeback: false,
         }));
-        self.by_line.entry(line).or_insert(id);
+        if !self.by_line.iter().any(|&(l, _)| l == line) {
+            self.by_line.push((line, id));
+        }
         id
     }
 
@@ -204,7 +229,10 @@ impl L2System {
     /// If a read for `addr`'s line is already queued or in flight, its id.
     pub fn find_pending(&self, addr: Addr) -> Option<ReqId> {
         let line = align_line(addr, self.cfg.transfer as u64);
-        self.by_line.get(&line).copied()
+        self.by_line
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, id)| id)
     }
 
     /// Raise the priority of a queued request (e.g. a prefetch that became a
@@ -227,19 +255,29 @@ impl L2System {
     /// priority, oldest first, among those with `want <= now`), and return
     /// every completion whose data is ready at `now`.
     pub fn tick(&mut self, now: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Allocation-free [`tick`](Self::tick): completions ready at `now` are
+    /// pushed into `out` (cleared first).  The cycle engine holds `out` as a
+    /// persistent scratch so the per-cycle path never touches the heap.
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<Completion>) {
+        out.clear();
         // Grant phase: the heap orders by (class, seq); skim off requests
         // not yet eligible, grant the best eligible one, push the rest back.
-        let mut deferred = Vec::new();
+        self.deferred.clear();
         let mut granted = None;
         while let Some(Reverse(p)) = self.queue.pop() {
             if p.want <= now {
                 granted = Some(p);
                 break;
             }
-            deferred.push(Reverse(p));
+            self.deferred.push(p);
         }
-        for d in deferred {
-            self.queue.push(d);
+        for d in self.deferred.drain(..) {
+            self.queue.push(Reverse(d));
         }
         if let Some(p) = granted {
             self.stats.wait_cycles += now - p.want;
@@ -265,38 +303,31 @@ impl L2System {
                         now + (self.cfg.l2_latency + self.cfg.mem_latency) as u64,
                     )
                 };
-                self.meta.insert(
-                    p.seq,
-                    Completion {
-                        id: p.id,
-                        line: p.line,
-                        class: p.class,
-                        source,
-                        ready_at,
-                    },
-                );
-                self.inflight.push(Reverse((ready_at, p.seq)));
+                self.inflight.push(Reverse(Inflight(Completion {
+                    id: p.id,
+                    line: p.line,
+                    class: p.class,
+                    source,
+                    ready_at,
+                })));
             }
         }
 
         // Completion phase.
-        let mut done = Vec::new();
-        while let Some(&Reverse((ready, seq))) = self.inflight.peek() {
-            if ready > now {
+        while let Some(&Reverse(Inflight(c))) = self.inflight.peek() {
+            if c.ready_at > now {
                 break;
             }
             self.inflight.pop();
-            // Every grant inserts into both `inflight` and `meta` under
-            // the same seq; a miss here means the two fell out of sync.
-            let Some(c) = self.meta.remove(&seq) else {
-                unreachable!("in-flight request seq {seq} has no completion metadata")
-            };
-            if self.by_line.get(&c.line) == Some(&c.id) {
-                self.by_line.remove(&c.line);
+            if let Some(i) = self
+                .by_line
+                .iter()
+                .position(|&(l, id)| l == c.line && id == c.id)
+            {
+                self.by_line.swap_remove(i);
             }
-            done.push(c);
+            out.push(c);
         }
-        done
     }
 
     /// Warm the L2 directory with a line (used to pre-load instruction

@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// Every kind is a pluggable mechanism behind the
 /// [`InstrPrefetcher`](crate::prefetch::InstrPrefetcher) trait; the
-/// front-end only knows the registry
-/// ([`build_prefetcher`](crate::prefetch::build_prefetcher)).
+/// front-end is generic over the mechanism and the registry hook is the
+/// monomorphic `InstrPrefetcher::from_config`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PrefetcherKind {
     /// No prefetching (baseline).

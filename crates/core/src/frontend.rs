@@ -36,13 +36,13 @@
 
 use crate::buffer::{PbKind, PbLookup, PreBuffer};
 use crate::config::{FrontendConfig, PrefetcherKind};
-use crate::prefetch::{build_prefetcher, InstrPrefetcher, PrefetchCheckpoint, PrefetchView};
+use crate::prefetch::{InstrPrefetcher, PrefetchCheckpoint, PrefetchView};
 use crate::queue::{FetchQueue, LineSlot, QueueKind};
 use crate::stats::FrontStats;
 use prestage_cache::{ArrayPort, Completion, L2System, MemSource, ReqClass, ReqId, SetAssocCache};
 use prestage_isa::{Addr, INST_BYTES};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Where a fetched line came from (Figure 7 categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,9 +91,52 @@ pub(crate) struct Route {
     pub(crate) pb_fill: bool,
 }
 
-/// The decoupled fetch front-end.
+/// Flat routing table for in-flight L2 requests the front-end cares
+/// about: a linear-scan `Vec` keyed by [`ReqId`].  The table is bounded
+/// by the L2 system's outstanding-request count (a handful of entries),
+/// is never iterated in key order, and sees one lookup per completion —
+/// exactly the shape where a flat scan with `swap_remove` beats the
+/// pointer-chasing `BTreeMap` it replaces.
+#[derive(Debug, Default)]
+pub(crate) struct RouteTable {
+    entries: Vec<(ReqId, Route)>,
+}
+
+impl RouteTable {
+    /// The route for `id`, inserting a default entry if absent
+    /// (`BTreeMap::entry(..).or_default()` shaped).
+    pub(crate) fn get_or_insert(&mut self, id: ReqId) -> &mut Route {
+        match self.entries.iter().position(|(k, _)| *k == id) {
+            Some(i) => &mut self.entries[i].1,
+            None => {
+                self.entries.push((id, Route::default()));
+                // prestage: allow(unwrap-in-lib, the push on the previous line guarantees a last element)
+                &mut self.entries.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: ReqId) -> Option<Route> {
+        let i = self.entries.iter().position(|(k, _)| *k == id)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The decoupled fetch front-end, monomorphized over its prefetch
+/// mechanism `P`: every per-cycle hook (`tick`, `observe_fetch`,
+/// `migrate_used_lines`) is a direct — typically inlined — call, not a
+/// virtual one.  Mechanism selection happens once, at the config layer:
+/// the engine instantiates one `FrontEnd<P>` per [`PrefetcherKind`]
+/// (see `prestage-sim`'s engine), and [`NoPrefetcher`] is the zero-sized
+/// no-prefetch baseline.
+///
+/// [`NoPrefetcher`]: crate::prefetch::NoPrefetcher
 #[derive(Debug)]
-pub struct FrontEnd {
+pub struct FrontEnd<P: InstrPrefetcher> {
     cfg: FrontendConfig,
     queue: FetchQueue,
     pb: Option<PreBuffer>,
@@ -106,12 +149,11 @@ pub struct FrontEnd {
     l1_copy_port: ArrayPort,
     l0: Option<(SetAssocCache, ArrayPort)>,
     inflight: VecDeque<LineFetch>,
-    /// The pluggable prefetch mechanism (`None` for the no-prefetch
-    /// baseline); see [`crate::prefetch`].
-    pf: Option<Box<dyn InstrPrefetcher>>,
+    /// The prefetch mechanism; see [`crate::prefetch`].
+    pf: P,
     /// Prefetch copies from the L1 completing at (cycle, synthetic id).
     l1_copies: Vec<(u64, ReqId)>,
-    routes: BTreeMap<ReqId, Route>,
+    routes: RouteTable,
     next_synth: u64,
     stats: FrontStats,
 }
@@ -120,8 +162,20 @@ pub struct FrontEnd {
 /// L2 system's sequence numbers).
 const SYNTH_BASE: u64 = 1 << 63;
 
-impl FrontEnd {
+impl<P: InstrPrefetcher> FrontEnd<P> {
+    /// # Panics
+    /// On a configuration [`FrontendConfig::validate`] rejects (spec
+    /// consumers validate earlier and report the field name instead).
     pub fn new(cfg: FrontendConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid front-end configuration: {e}");
+        }
+        let pf = P::from_config(&cfg);
+        debug_assert_eq!(
+            pf.kind(),
+            cfg.prefetcher,
+            "front-end instantiated with the wrong mechanism type"
+        );
         let kind = match cfg.prefetcher {
             PrefetcherKind::Clgp => QueueKind::Cltq,
             _ => QueueKind::Ftq,
@@ -150,9 +204,9 @@ impl FrontEnd {
             l1_copy_port: ArrayPort::new(cfg.l1_latency(), cfg.l1_pipelined),
             l0,
             inflight: VecDeque::new(),
-            pf: build_prefetcher(&cfg),
+            pf,
             l1_copies: Vec::new(),
-            routes: BTreeMap::new(),
+            routes: RouteTable::default(),
             next_synth: SYNTH_BASE,
             cfg,
             stats: FrontStats::default(),
@@ -175,9 +229,7 @@ impl FrontEnd {
         if let Some((l0, _)) = &mut self.l0 {
             l0.reset_stats();
         }
-        if let Some(pf) = &mut self.pf {
-            pf.reset_stats();
-        }
+        self.pf.reset_stats();
     }
 
     pub fn queue(&self) -> &FetchQueue {
@@ -213,43 +265,44 @@ impl FrontEnd {
     pub fn flush(&mut self) {
         self.queue.flush();
         self.inflight.clear();
-        if let Some(pf) = &mut self.pf {
-            pf.on_redirect();
-        }
+        self.pf.on_redirect();
         if let Some(pb) = &mut self.pb {
             pb.on_mispredict();
         }
         self.stats.flushes += 1;
     }
 
+    /// In-flight L2 requests the front-end still expects a completion for
+    /// (demand fetches + pre-buffer fills).  Bounded by the L2 system's
+    /// outstanding-request count — the engine's end-of-cell invariant
+    /// checks exactly that.
+    pub fn routes_len(&self) -> usize {
+        self.routes.len()
+    }
+
     /// Snapshot the prefetch mechanism's speculative state (training
     /// cursors, stream expectations) — taken by the engine when it detects
     /// a divergence, *before* wrong-path fetches are observed.
     pub fn prefetcher_checkpoint(&self) -> PrefetchCheckpoint {
-        self.pf
-            .as_ref()
-            .map(|pf| pf.checkpoint())
-            .unwrap_or_default()
+        self.pf.checkpoint()
     }
 
     /// Reinstall a [`prefetcher_checkpoint`](Self::prefetcher_checkpoint)
     /// after the redirect [`flush`](Self::flush), so wrong-path
     /// observations do not corrupt the mechanism's speculative cursors.
     pub fn prefetcher_restore(&mut self, cp: &PrefetchCheckpoint) {
-        if let Some(pf) = &mut self.pf {
-            pf.restore(cp);
-        }
+        self.pf.restore(cp);
     }
 
     /// Mechanism-private metadata storage in bytes (for the CACTI
     /// area/energy accounting); 0 for the no-prefetch baseline.
     pub fn prefetcher_state_bytes(&self) -> usize {
-        self.pf.as_ref().map(|pf| pf.state_bytes()).unwrap_or(0)
+        self.pf.state_bytes()
     }
 
     /// Route an L2-system completion (the engine filters by requester).
     pub fn on_completion(&mut self, c: &Completion) {
-        let Some(route) = self.routes.remove(&c.id) else {
+        let Some(route) = self.routes.remove(c.id) else {
             return;
         };
         if route.pb_fill {
@@ -297,23 +350,35 @@ impl FrontEnd {
         self.start_fetches(now, l2);
         // Prefetch mechanism tick: lend it the view of everything a
         // prefetch engine may touch (it cannot reach the in-flight fetch
-        // pipeline or the ports the fetch unit owns).
-        if let Some(mut pf) = self.pf.take() {
-            let mut view = PrefetchView {
-                cfg: &self.cfg,
-                queue: &mut self.queue,
-                pb: self.pb.as_mut(),
-                l1: &mut self.l1,
-                l0: self.l0.as_mut().map(|(l0, _)| l0),
-                l1_copy_port: &mut self.l1_copy_port,
-                l1_copies: &mut self.l1_copies,
-                routes: &mut self.routes,
-                next_synth: &mut self.next_synth,
-                stats: &mut self.stats,
-            };
-            pf.tick(now, &mut view, l2);
-            self.pf = Some(pf);
-        }
+        // pipeline or the ports the fetch unit owns).  Disjoint field
+        // borrows — no take/put-back, no indirection.
+        let FrontEnd {
+            cfg,
+            queue,
+            pb,
+            l1,
+            l0,
+            l1_copy_port,
+            l1_copies,
+            routes,
+            next_synth,
+            stats,
+            pf,
+            ..
+        } = self;
+        let mut view = PrefetchView {
+            cfg,
+            queue,
+            pb: pb.as_mut(),
+            l1,
+            l0: l0.as_mut().map(|(l0, _)| l0),
+            l1_copy_port,
+            l1_copies,
+            routes,
+            next_synth,
+            stats,
+        };
+        pf.tick(now, &mut view, l2);
     }
 
     // -- fetch path -------------------------------------------------------
@@ -334,45 +399,45 @@ impl FrontEnd {
     }
 
     fn resolve_waiting_pb(&mut self, now: u64, l2: &mut L2System) {
-        let Some(pb) = &self.pb else { return };
-        let mut newly_ready = Vec::new();
-        let mut vanished = Vec::new();
-        for (i, lf) in self.inflight.iter().enumerate() {
-            if lf.state == LfState::WaitPb {
-                match pb.lookup(lf.slot.line) {
-                    PbLookup::Valid => newly_ready.push(i),
-                    PbLookup::Pending => {}
-                    // The pending entry was replaced underneath the waiter
-                    // (possible only around flush races): fall back to a
-                    // fresh storage probe so the fetch always completes.
-                    PbLookup::Miss => vanished.push(i),
+        if self.pb.is_none() {
+            return;
+        }
+        // One interleaved pass.  The ready path draws on the PB port and
+        // the vanished path on the L0/L1 ports — disjoint, so resolving
+        // in index order is identical to two categorized passes.
+        for i in 0..self.inflight.len() {
+            if self.inflight[i].state != LfState::WaitPb {
+                continue;
+            }
+            let line = self.inflight[i].slot.line;
+            match self.pb.as_ref().expect("checked above").lookup(line) {
+                PbLookup::Valid => {
+                    let ready = self.pb_port.start(now);
+                    self.inflight[i].state = LfState::Ready(ready);
+                }
+                PbLookup::Pending => {}
+                // The pending entry was replaced underneath the waiter
+                // (possible only around flush races): fall back to a
+                // fresh storage probe so the fetch always completes.
+                PbLookup::Miss => {
+                    let (state, source) = self.probe_storage(line, now, l2);
+                    self.inflight[i].state = state;
+                    self.inflight[i].source = source;
                 }
             }
-        }
-        for i in newly_ready {
-            let ready = self.pb_port.start(now);
-            self.inflight[i].state = LfState::Ready(ready);
-        }
-        for i in vanished {
-            let line = self.inflight[i].slot.line;
-            let (state, source) = self.probe_storage(line, now, l2);
-            self.inflight[i].state = state;
-            self.inflight[i].source = source;
         }
     }
 
     /// Probe L0 and L1 for `line` (the pre-buffer was already consulted);
     /// on a full miss, raise a demand request.
     fn probe_storage(&mut self, line: Addr, now: u64, l2: &mut L2System) -> (LfState, FetchSource) {
-        let l0_hit = match &mut self.l0 {
-            Some((l0, _)) => l0.lookup(line),
-            None => false,
-        };
-        if l0_hit {
-            let (_, port) = self.l0.as_mut().unwrap();
-            let ready = port.start(now);
-            (LfState::Ready(ready), FetchSource::L0)
-        } else if self.l1.lookup(line) {
+        if let Some((l0, port)) = &mut self.l0 {
+            if l0.lookup(line) {
+                let ready = port.start(now);
+                return (LfState::Ready(ready), FetchSource::L0);
+            }
+        }
+        if self.l1.lookup(line) {
             let ready = self.l1_port.start(now);
             (LfState::Ready(ready), FetchSource::L1)
         } else {
@@ -384,7 +449,7 @@ impl FrontEnd {
                 }
                 None => l2.submit(line, ReqClass::IFetch, tag_done),
             };
-            self.routes.entry(req).or_default().demand = true;
+            self.routes.get_or_insert(req).demand = true;
             (LfState::WaitMem(req), FetchSource::L2)
         }
     }
@@ -403,19 +468,6 @@ impl FrontEnd {
         if at > now {
             return;
         }
-        if !head.counted {
-            head.counted = true;
-            let src = head.source;
-            let stats = &mut self.stats;
-            let c = match src {
-                FetchSource::PreBuffer => &mut stats.fetch_pb,
-                FetchSource::L0 => &mut stats.fetch_l0,
-                FetchSource::L1 => &mut stats.fetch_l1,
-                FetchSource::L2 => &mut stats.fetch_l2,
-                FetchSource::Mem => &mut stats.fetch_mem,
-            };
-            c.lines += 1;
-        }
         let remaining = head.slot.n_insts - head.delivered;
         let n = remaining.min(width);
         let first_pc = head.slot.first_pc + head.delivered as u64 * INST_BYTES;
@@ -429,6 +481,11 @@ impl FrontEnd {
             cycle: now,
             completes_block: done && head.slot.last_of_block,
         };
+        // One batched counter update per delivery: the line count (first
+        // delivery of the line only) and the instruction count land on the
+        // same `SourceCount`, resolved once.
+        let newly_counted = !head.counted;
+        head.counted = true;
         {
             let stats = &mut self.stats;
             let c = match head.source {
@@ -438,6 +495,7 @@ impl FrontEnd {
                 FetchSource::L2 => &mut stats.fetch_l2,
                 FetchSource::Mem => &mut stats.fetch_mem,
             };
+            c.lines += newly_counted as u64;
             c.insts += n as u64;
         }
         out.push(delivery);
@@ -451,11 +509,7 @@ impl FrontEnd {
                     // Migration into the one-cycle reach — L0 when present
                     // (§3.1.1), else the L1 — is the mechanism's policy:
                     // FDP migrates, CLGP keeps buffer and caches disjoint.
-                    let migrate = self
-                        .pf
-                        .as_ref()
-                        .is_some_and(|pf| pf.migrate_used_lines());
-                    if migrate {
+                    if self.pf.migrate_used_lines() {
                         match &mut self.l0 {
                             Some((l0, _)) => {
                                 l0.fill(slot.line);
@@ -529,9 +583,7 @@ impl FrontEnd {
             // Observation hook: the mechanism sees the in-order fetch
             // stream (next-line triggers off it; MANA/program-map train
             // their tables and advance their stream expectations).
-            if let Some(pf) = &mut self.pf {
-                pf.observe_fetch(&slot);
-            }
+            self.pf.observe_fetch(&slot);
             self.inflight.push_back(LineFetch {
                 slot,
                 state,

@@ -40,8 +40,8 @@ pub use buffer::{PbKind, PbLookup, PreBuffer};
 pub use config::{FrontendConfig, PrefetcherKind};
 pub use frontend::{Delivery, FetchSource, FrontEnd};
 pub use prefetch::{
-    build_prefetcher, prefetcher_state_bytes, ClgpPrefetcher, FdpPrefetcher, InstrPrefetcher,
-    ManaPrefetcher, NextLinePrefetcher, PrefetchCheckpoint, PrefetchView, ProgMapPrefetcher,
+    prefetcher_state_bytes, ClgpPrefetcher, FdpPrefetcher, InstrPrefetcher, ManaPrefetcher,
+    NextLinePrefetcher, NoPrefetcher, PrefetchCheckpoint, PrefetchView, ProgMapPrefetcher,
 };
 pub use queue::{FetchQueue, LineSlot, QueueKind};
 pub use stats::{FrontStats, SourceCount};

@@ -17,21 +17,26 @@
 //!   [`InstrPrefetcher::restore`]) and its counters reset at the warm-up
 //!   boundary ([`InstrPrefetcher::reset_stats`]).
 //!
-//! [`build_prefetcher`] is the registry: one constructor per
-//! [`PrefetcherKind`].  The paper's FDP (§3.1) and CLGP (§3.2) engines and
-//! the related-work next-N-line scheme are ports of the previous inlined
-//! code (bit-exact — the conformance suites hold them to the old
-//! behaviour); [`ManaPrefetcher`] and [`ProgMapPrefetcher`] are the new
-//! record-and-replay comparisons named in the ROADMAP.
+//! The registry is *monomorphic*: [`InstrPrefetcher::from_config`] is the
+//! per-type constructor, and the engine in `prestage-sim` dispatches on
+//! [`PrefetcherKind`] exactly once — at construction — instantiating a
+//! generic front-end per mechanism type, so the per-cycle hooks are
+//! static (inlinable) calls rather than virtual ones.  [`NoPrefetcher`]
+//! is the zero-sized no-prefetch baseline.  The paper's FDP (§3.1) and
+//! CLGP (§3.2) engines and the related-work next-N-line scheme are ports
+//! of the previous inlined code (bit-exact — the conformance suites hold
+//! them to the old behaviour); [`ManaPrefetcher`] and
+//! [`ProgMapPrefetcher`] are the new record-and-replay comparisons named
+//! in the ROADMAP.
 
 use crate::buffer::{PbLookup, PreBuffer};
 use crate::config::{FrontendConfig, PrefetcherKind};
-use crate::frontend::Route;
+use crate::frontend::RouteTable;
 use crate::queue::{FetchQueue, LineSlot};
 use crate::stats::FrontStats;
 use prestage_cache::{ArrayPort, L2System, ReqClass, ReqId, SetAssocCache};
 use prestage_isa::Addr;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Upper bound on any mechanism's internal request queue that is not
 /// already bounded by `piq_entries` (MANA region expansions, program-map
@@ -60,7 +65,7 @@ pub struct PrefetchView<'a> {
     pub l0: Option<&'a mut SetAssocCache>,
     pub(crate) l1_copy_port: &'a mut ArrayPort,
     pub(crate) l1_copies: &'a mut Vec<(u64, ReqId)>,
-    pub(crate) routes: &'a mut BTreeMap<ReqId, Route>,
+    pub(crate) routes: &'a mut RouteTable,
     pub(crate) next_synth: &'a mut u64,
     pub stats: &'a mut FrontStats,
 }
@@ -93,7 +98,7 @@ impl PrefetchView<'_> {
             None => l2.submit(line, ReqClass::Prefetch, now),
         };
         pb.allocate(line, req);
-        self.routes.entry(req).or_default().pb_fill = true;
+        self.routes.get_or_insert(req).pb_fill = true;
         self.stats.prefetches_issued += 1;
     }
 }
@@ -105,6 +110,13 @@ impl PrefetchView<'_> {
 pub trait InstrPrefetcher: std::fmt::Debug {
     /// Which registry entry built this mechanism.
     fn kind(&self) -> PrefetcherKind;
+
+    /// Build the mechanism for `cfg` — the monomorphic registry hook.
+    /// The caller (the engine's per-[`PrefetcherKind`] dispatch) has
+    /// already matched `cfg.prefetcher` to this type and validated `cfg`.
+    fn from_config(cfg: &FrontendConfig) -> Self
+    where
+        Self: Sized;
 
     /// One cycle of prefetch work: scan whatever the mechanism scans and
     /// emit at most a port-limited number of requests through `fe`.
@@ -154,24 +166,27 @@ pub trait InstrPrefetcher: std::fmt::Debug {
     }
 }
 
-/// The mechanism registry: build the engine for `cfg.prefetcher`, or
-/// `None` for the no-prefetch baseline.
-///
-/// # Panics
-/// On a configuration [`FrontendConfig::validate`] rejects (non-power-of-
-/// two table sizes would silently alias; spec consumers validate earlier
-/// and report the field name as an error instead).
-pub fn build_prefetcher(cfg: &FrontendConfig) -> Option<Box<dyn InstrPrefetcher>> {
-    if let Err(e) = cfg.validate() {
-        panic!("invalid front-end configuration: {e}");
+/// The no-prefetch baseline: a zero-sized mechanism whose hooks compile
+/// to nothing.  A `FrontEnd<NoPrefetcher>` is exactly the pre-registry
+/// prefetcher-less front-end — no pre-buffer traffic, no migration of
+/// pre-buffer lines (there are none), no speculative state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetcher;
+
+impl InstrPrefetcher for NoPrefetcher {
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::None
     }
-    match cfg.prefetcher {
-        PrefetcherKind::None => None,
-        PrefetcherKind::Fdp => Some(Box::new(FdpPrefetcher::new(cfg))),
-        PrefetcherKind::Clgp => Some(Box::new(ClgpPrefetcher::new(cfg))),
-        PrefetcherKind::NextLine => Some(Box::new(NextLinePrefetcher::new(cfg))),
-        PrefetcherKind::Mana => Some(Box::new(ManaPrefetcher::new(cfg))),
-        PrefetcherKind::ProgMap => Some(Box::new(ProgMapPrefetcher::new(cfg))),
+
+    fn from_config(_cfg: &FrontendConfig) -> Self {
+        NoPrefetcher
+    }
+
+    fn tick(&mut self, _now: u64, _fe: &mut PrefetchView<'_>, _l2: &mut L2System) {}
+
+    fn migrate_used_lines(&self) -> bool {
+        // Nothing ever enters the pre-buffer, so nothing migrates out.
+        false
     }
 }
 
@@ -270,6 +285,10 @@ impl FdpPrefetcher {
 impl InstrPrefetcher for FdpPrefetcher {
     fn kind(&self) -> PrefetcherKind {
         PrefetcherKind::Fdp
+    }
+
+    fn from_config(cfg: &FrontendConfig) -> Self {
+        FdpPrefetcher::new(cfg)
     }
 
     fn tick(&mut self, now: u64, fe: &mut PrefetchView<'_>, l2: &mut L2System) {
@@ -371,6 +390,10 @@ impl InstrPrefetcher for NextLinePrefetcher {
         PrefetcherKind::NextLine
     }
 
+    fn from_config(cfg: &FrontendConfig) -> Self {
+        NextLinePrefetcher::new(cfg)
+    }
+
     fn observe_fetch(&mut self, slot: &LineSlot) {
         // Next-N-line prefetching triggers off every demand line fetch.
         for k in 1..=self.degree as u64 {
@@ -433,6 +456,10 @@ impl ClgpPrefetcher {
 impl InstrPrefetcher for ClgpPrefetcher {
     fn kind(&self) -> PrefetcherKind {
         PrefetcherKind::Clgp
+    }
+
+    fn from_config(cfg: &FrontendConfig) -> Self {
+        ClgpPrefetcher::new(cfg)
     }
 
     fn migrate_used_lines(&self) -> bool {
@@ -671,6 +698,10 @@ impl InstrPrefetcher for ManaPrefetcher {
         PrefetcherKind::Mana
     }
 
+    fn from_config(cfg: &FrontendConfig) -> Self {
+        ManaPrefetcher::new(cfg)
+    }
+
     fn observe_fetch(&mut self, slot: &LineSlot) {
         let ln = slot.line >> self.line_shift;
         if self.last_line == Some(ln) {
@@ -808,6 +839,10 @@ impl ProgMapPrefetcher {
 impl InstrPrefetcher for ProgMapPrefetcher {
     fn kind(&self) -> PrefetcherKind {
         PrefetcherKind::ProgMap
+    }
+
+    fn from_config(cfg: &FrontendConfig) -> Self {
+        ProgMapPrefetcher::new(cfg)
     }
 
     fn observe_fetch(&mut self, slot: &LineSlot) {
@@ -967,12 +1002,24 @@ mod tests {
             let mut cfg = FrontendConfig::base(prestage_cacti::TechNode::T090, 4 << 10);
             cfg.prefetcher = kind;
             cfg.pb_entries = 8;
-            let pf = build_prefetcher(&cfg);
-            assert_eq!(pf.is_none(), kind == PrefetcherKind::None);
-            if let Some(pf) = pf {
-                assert_eq!(pf.kind(), kind);
-                assert_eq!(pf.state_bytes(), prefetcher_state_bytes(&cfg));
-            }
+            // The trait stays object-safe even though dispatch is now
+            // monomorphic: box each mechanism through `from_config` the way
+            // the engine instantiates it.
+            let pf: Box<dyn InstrPrefetcher> = match kind {
+                PrefetcherKind::None => Box::new(NoPrefetcher::from_config(&cfg)),
+                PrefetcherKind::NextLine => Box::new(NextLinePrefetcher::from_config(&cfg)),
+                PrefetcherKind::Fdp => Box::new(FdpPrefetcher::from_config(&cfg)),
+                PrefetcherKind::Clgp => Box::new(ClgpPrefetcher::from_config(&cfg)),
+                PrefetcherKind::Mana => Box::new(ManaPrefetcher::from_config(&cfg)),
+                PrefetcherKind::ProgMap => Box::new(ProgMapPrefetcher::from_config(&cfg)),
+            };
+            assert_eq!(pf.kind(), kind);
+            assert_eq!(pf.state_bytes(), prefetcher_state_bytes(&cfg));
+            assert_eq!(
+                pf.migrate_used_lines(),
+                kind != PrefetcherKind::None && kind != PrefetcherKind::Clgp,
+                "only CLGP (by design) and the no-op baseline skip L1 migration"
+            );
         }
     }
 

@@ -43,19 +43,27 @@ pub struct LineSlot {
     pub last_of_block: bool,
 }
 
-#[derive(Debug, Clone)]
-struct BlockEnt {
-    seq: u64,
-    lines: VecDeque<LineSlot>,
-}
-
 /// The decoupling queue.
+///
+/// Hot-path layout: one flat ring of line slots plus a block counter.
+/// Block boundaries are recovered from each slot's `last_of_block` flag
+/// (a block's lines are always pushed contiguously and completely), so
+/// the per-block nesting the first implementation used — a `VecDeque` of
+/// `VecDeque`s, one heap allocation per predicted block — is gone from
+/// the per-cycle path.
 #[derive(Debug, Clone)]
 pub struct FetchQueue {
     kind: QueueKind,
     line_bytes: u64,
     max_blocks: usize,
-    blocks: VecDeque<BlockEnt>,
+    lines: VecDeque<LineSlot>,
+    n_blocks: usize,
+    /// Index of the first slot the prefetcher may not have processed:
+    /// everything below it is `prefetched`.  Sound because the flag is
+    /// set-only and slots leave from the front, so the scan in
+    /// [`first_unprefetched`](Self::first_unprefetched) never needs to
+    /// revisit the processed prefix.
+    pf_cursor: usize,
 }
 
 impl FetchQueue {
@@ -65,7 +73,12 @@ impl FetchQueue {
             kind,
             line_bytes,
             max_blocks,
-            blocks: VecDeque::with_capacity(max_blocks),
+            // A fetch block spans at most fetch-width/line + 1 lines; 8 is
+            // ample for the paper's 4-wide blocks, and the ring grows once
+            // and stays if a configuration exceeds it.
+            lines: VecDeque::with_capacity(max_blocks * 8),
+            n_blocks: 0,
+            pf_cursor: 0,
         }
     }
 
@@ -75,21 +88,21 @@ impl FetchQueue {
 
     /// True if another fetch block can be accepted.
     pub fn has_space(&self) -> bool {
-        self.blocks.len() < self.max_blocks
+        self.n_blocks < self.max_blocks
     }
 
     /// Number of queued fetch blocks.
     pub fn len_blocks(&self) -> usize {
-        self.blocks.len()
+        self.n_blocks
     }
 
     /// Number of queued line slots.
     pub fn len_lines(&self) -> usize {
-        self.blocks.iter().map(|b| b.lines.len()).sum()
+        self.lines.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.n_blocks == 0
     }
 
     /// Enqueue a predicted fetch block of `len` instructions starting at
@@ -98,7 +111,6 @@ impl FetchQueue {
         if !self.has_space() || len == 0 {
             return false;
         }
-        let mut lines = VecDeque::new();
         let end = start + len as u64 * INST_BYTES;
         let mut pc = start;
         while pc < end {
@@ -115,7 +127,7 @@ impl FetchQueue {
                      (pc {pc:#x}, line end {last_pc:#x})"
                 )
             };
-            lines.push_back(LineSlot {
+            self.lines.push_back(LineSlot {
                 block_seq: seq,
                 line,
                 first_pc: pc,
@@ -125,46 +137,54 @@ impl FetchQueue {
             });
             pc = line_end;
         }
-        self.blocks.push_back(BlockEnt { seq, lines });
+        self.n_blocks += 1;
         true
     }
 
     /// The next line the fetch unit should fetch (the queue head).
     pub fn head_line(&self) -> Option<&LineSlot> {
-        self.blocks.front().and_then(|b| b.lines.front())
+        self.lines.front()
     }
 
     /// Pop the head line after the fetch unit has accepted it.
     pub fn pop_head_line(&mut self) -> Option<LineSlot> {
-        let slot = self.blocks.front_mut()?.lines.pop_front()?;
-        if self.blocks.front().map(|b| b.lines.is_empty()) == Some(true) {
-            self.blocks.pop_front();
+        let slot = self.lines.pop_front()?;
+        if slot.last_of_block {
+            self.n_blocks -= 1;
         }
+        self.pf_cursor = self.pf_cursor.saturating_sub(1);
         Some(slot)
     }
 
-    /// Scan for the first slot not yet processed by the prefetcher.
-    /// Returns a mutable reference so the caller can set `prefetched`.
+    /// The first slot not yet processed by the prefetcher.  Returns a
+    /// mutable reference so the caller can set `prefetched`; the cursor
+    /// makes this O(new slots), not a fresh front-to-back scan.
     pub fn first_unprefetched(&mut self) -> Option<&mut LineSlot> {
-        self.blocks
-            .iter_mut()
-            .flat_map(|b| b.lines.iter_mut())
-            .find(|s| !s.prefetched)
+        while self
+            .lines
+            .get(self.pf_cursor)
+            .is_some_and(|s| s.prefetched)
+        {
+            self.pf_cursor += 1;
+        }
+        self.lines.get_mut(self.pf_cursor)
     }
 
     /// Iterate all queued slots front to back.
     pub fn iter_lines(&self) -> impl Iterator<Item = &LineSlot> {
-        self.blocks.iter().flat_map(|b| b.lines.iter())
+        self.lines.iter()
     }
 
     /// Drop everything (branch misprediction).
     pub fn flush(&mut self) {
-        self.blocks.clear();
+        self.lines.clear();
+        self.n_blocks = 0;
+        self.pf_cursor = 0;
     }
 
     /// Sequence number of the newest queued block.
     pub fn newest_seq(&self) -> Option<u64> {
-        self.blocks.back().map(|b| b.seq)
+        self.lines.back().map(|s| s.block_seq)
     }
 }
 

@@ -4,14 +4,24 @@
 
 use prestage_cache::{L2Config, L2System};
 use prestage_cacti::TechNode;
-use prestage_core::{Delivery, FetchSource, FrontEnd, FrontendConfig, PrefetcherKind};
+use prestage_core::{
+    ClgpPrefetcher, Delivery, FetchSource, FrontEnd, FrontendConfig, InstrPrefetcher,
+    NextLinePrefetcher, NoPrefetcher, PrefetcherKind,
+};
+use prestage_core::FdpPrefetcher;
 
 fn l2(tech: TechNode) -> L2System {
     L2System::new(L2Config::for_node(tech))
 }
 
 /// Drive front-end + L2 for `cycles`, collecting deliveries.
-fn run(fe: &mut FrontEnd, l2: &mut L2System, from: u64, cycles: u64, out: &mut Vec<Delivery>) {
+fn run<P: InstrPrefetcher>(
+    fe: &mut FrontEnd<P>,
+    l2: &mut L2System,
+    from: u64,
+    cycles: u64,
+    out: &mut Vec<Delivery>,
+) {
     for now in from..from + cycles {
         for c in l2.tick(now) {
             fe.on_completion(&c);
@@ -31,7 +41,7 @@ fn base_cfg(tech: TechNode, l1_kb: usize, pf: PrefetcherKind) -> FrontendConfig 
 
 #[test]
 fn cold_fetch_misses_to_memory_then_hits_l1() {
-    let mut fe = FrontEnd::new(base_cfg(TechNode::T045, 8, PrefetcherKind::None));
+    let mut fe = FrontEnd::<NoPrefetcher>::new(base_cfg(TechNode::T045, 8, PrefetcherKind::None));
     let mut l2 = l2(TechNode::T045);
     let mut out = Vec::new();
 
@@ -55,7 +65,7 @@ fn cold_fetch_misses_to_memory_then_hits_l1() {
 
 #[test]
 fn deliveries_respect_fetch_width() {
-    let mut fe = FrontEnd::new(base_cfg(TechNode::T045, 8, PrefetcherKind::None));
+    let mut fe = FrontEnd::<NoPrefetcher>::new(base_cfg(TechNode::T045, 8, PrefetcherKind::None));
     let mut l2 = l2(TechNode::T045);
     let mut out = Vec::new();
     // 16 instructions on one line.
@@ -74,7 +84,7 @@ fn deliveries_respect_fetch_width() {
 #[test]
 fn clgp_prestages_ahead_and_serves_from_buffer() {
     let tech = TechNode::T045;
-    let mut fe = FrontEnd::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
     let mut l2 = l2(tech);
     let mut out = Vec::new();
 
@@ -108,7 +118,7 @@ fn clgp_prestages_ahead_and_serves_from_buffer() {
 #[test]
 fn clgp_does_not_migrate_lines_into_l1() {
     let tech = TechNode::T045;
-    let mut fe = FrontEnd::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
     let mut l2 = l2(tech);
     let mut out = Vec::new();
     for i in 0..8u64 {
@@ -137,7 +147,7 @@ fn clgp_does_not_migrate_lines_into_l1() {
 #[test]
 fn fdp_migrates_used_lines_into_l1() {
     let tech = TechNode::T045;
-    let mut fe = FrontEnd::new(base_cfg(tech, 8, PrefetcherKind::Fdp));
+    let mut fe = FrontEnd::<FdpPrefetcher>::new(base_cfg(tech, 8, PrefetcherKind::Fdp));
     let mut l2 = l2(tech);
     let mut out = Vec::new();
     for i in 0..8u64 {
@@ -166,7 +176,7 @@ fn fdp_migrates_used_lines_into_l1() {
 #[test]
 fn fdp_filters_lines_already_in_l1() {
     let tech = TechNode::T045;
-    let mut fe = FrontEnd::new(base_cfg(tech, 8, PrefetcherKind::Fdp));
+    let mut fe = FrontEnd::<FdpPrefetcher>::new(base_cfg(tech, 8, PrefetcherKind::Fdp));
     let mut l2 = l2(tech);
     let mut out = Vec::new();
 
@@ -195,7 +205,7 @@ fn clgp_prestages_even_l1_resident_lines() {
     // line is *copied* into the prestage buffer to dodge the multi-cycle
     // hit (§3.2.3), showing up as an il1 prefetch source (Figure 8).
     let tech = TechNode::T045;
-    let mut fe = FrontEnd::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
     let mut l2 = l2(tech);
     let mut out = Vec::new();
 
@@ -218,7 +228,7 @@ fn clgp_consumers_counter_pins_shared_lines() {
     let tech = TechNode::T045;
     let mut cfg = base_cfg(tech, 8, PrefetcherKind::Clgp);
     cfg.pb_entries = 2; // tiny buffer: pinning matters
-    let mut fe = FrontEnd::new(cfg);
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(cfg);
     let mut l2 = l2(tech);
     let mut out = Vec::new();
     l2.warm_fill(0x8000);
@@ -245,7 +255,7 @@ fn clgp_consumers_counter_pins_shared_lines() {
 #[test]
 fn flush_clears_queue_and_resets_counters() {
     let tech = TechNode::T045;
-    let mut fe = FrontEnd::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(base_cfg(tech, 8, PrefetcherKind::Clgp));
     let mut l2 = l2(tech);
     let mut out = Vec::new();
     l2.warm_fill(0x8000);
@@ -276,7 +286,7 @@ fn pipelined_l1_streams_lines_back_to_back() {
     piped.l1_pipelined = true;
 
     let run_one = |cfg: FrontendConfig| -> u64 {
-        let mut fe = FrontEnd::new(cfg);
+        let mut fe = FrontEnd::<NoPrefetcher>::new(cfg);
         let mut l2sys = l2(tech);
         let mut out = Vec::new();
         // Warm the L1 with 8 consecutive lines.
@@ -303,7 +313,7 @@ fn l0_serves_one_cycle_after_demand_fill() {
     let tech = TechNode::T045;
     let mut cfg = FrontendConfig::base(tech, 32 << 10);
     cfg.l0_capacity = Some(256);
-    let mut fe = FrontEnd::new(cfg);
+    let mut fe = FrontEnd::<NoPrefetcher>::new(cfg);
     let mut l2sys = l2(tech);
     let mut out = Vec::new();
 
@@ -320,7 +330,7 @@ fn l0_serves_one_cycle_after_demand_fill() {
 
 #[test]
 fn queue_capacity_is_eight_blocks() {
-    let mut fe = FrontEnd::new(base_cfg(TechNode::T090, 4, PrefetcherKind::Clgp));
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(base_cfg(TechNode::T090, 4, PrefetcherKind::Clgp));
     for b in 0..8u64 {
         assert!(fe.push_block(b, 0x1000 + b * 0x100, 16));
     }
@@ -338,7 +348,7 @@ fn next_line_prefetcher_covers_sequential_streams() {
     cfg.prefetcher = PrefetcherKind::NextLine;
     cfg.pb_entries = 4;
     cfg.nlp_degree = 2;
-    let mut fe = FrontEnd::new(cfg);
+    let mut fe = FrontEnd::<NextLinePrefetcher>::new(cfg);
     let mut l2sys = l2(tech);
     for i in 0..16u64 {
         l2sys.warm_fill(0xA000 + i * 64);
@@ -363,7 +373,7 @@ fn next_line_prefetcher_filters_resident_lines() {
     let mut cfg = FrontendConfig::base(tech, 8 << 10);
     cfg.prefetcher = PrefetcherKind::NextLine;
     cfg.pb_entries = 4;
-    let mut fe = FrontEnd::new(cfg);
+    let mut fe = FrontEnd::<NextLinePrefetcher>::new(cfg);
     let mut l2sys = l2(tech);
     // Everything already in the L1: nothing should be prefetched.
     for i in 0..8u64 {
@@ -383,7 +393,7 @@ fn ablated_clgp_filter_behaves_like_fdp_for_l1_lines() {
     let tech = TechNode::T045;
     let mut cfg = base_cfg(tech, 8, PrefetcherKind::Clgp);
     cfg.ablate_filter = true;
-    let mut fe = FrontEnd::new(cfg);
+    let mut fe = FrontEnd::<ClgpPrefetcher>::new(cfg);
     let mut l2sys = l2(tech);
     let mut out = Vec::new();
     fe.push_block(1, 0x4000, 8);
@@ -408,7 +418,7 @@ fn ablated_free_on_use_clgp_loses_reuse() {
     drop.ablate_free_on_use = true;
 
     let run_one = |cfg: FrontendConfig| {
-        let mut fe = FrontEnd::new(cfg);
+        let mut fe = FrontEnd::<ClgpPrefetcher>::new(cfg);
         let mut l2sys = l2(tech);
         l2sys.warm_fill(0x8000);
         let mut out = Vec::new();

@@ -77,11 +77,13 @@ struct RuuEntry {
     mem_addr: Option<Addr>,
     state: EState,
     /// Per-source producer captured at dispatch: either a concrete ready
-    /// time, or the sequence number of the in-flight producer (wakeup
-    /// patches it to a time when that producer finishes).  Capturing at
-    /// dispatch avoids WAR hazards against younger writers.
+    /// time, or `DEP | seq` of the in-flight producer (wakeup patches it
+    /// to a time when that producer finishes).  Capturing at dispatch
+    /// avoids WAR hazards against younger writers.  Packing the tag into
+    /// the time keeps the entry inside one cache line and makes the
+    /// readiness test two plain compares (a tagged value can never be
+    /// `<= now`).
     src_time: [u64; 2],
-    src_dep: [Option<u64>; 2],
     /// Resolving this instruction triggers a front-end redirect.
     mispredict: bool,
 }
@@ -108,13 +110,38 @@ pub struct BackEnd {
     dcache: SetAssocCache,
     stats: BackendStats,
     next_seq: u64,
+    /// Dispatched-but-unresolved mispredicted branches; the per-cycle
+    /// resolve scan is skipped while this is zero (the common case).
+    pending_mispredicts: u32,
+    /// Scratch for the issue loop's deferred wakeups `(from, producer,
+    /// ready_at)`; persistent so the per-cycle tick never allocates.
+    wake_buf: Vec<(usize, u64, u64)>,
+    /// Bitmap of RUU entries in `Waiting` state — bit `k` covers the entry
+    /// at deque index `k` (entry seqs are contiguous: dispatch appends,
+    /// commit pops the front and shifts the map).  The issue scan and the
+    /// wakeup broadcast walk set bits only: entries that issued or went to
+    /// memory are never re-examined, and only `Waiting` entries can carry
+    /// unresolved source tags.  Capacity is the map's width; construction
+    /// rejects larger windows by name.
+    waiting: u128,
 }
 
 /// Sentinel ready-time for values still being produced.
 const PENDING: u64 = u64::MAX >> 1;
 
+/// Tag bit marking a `src_time` slot as "waiting on producer seq" rather
+/// than a concrete ready time.  Real cycle numbers and sequence numbers
+/// both stay far below it.
+const DEP: u64 = 1 << 63;
+
 impl BackEnd {
     pub fn new(cfg: BackendConfig) -> Self {
+        assert!(
+            cfg.ruu_size <= 128,
+            "BackendConfig.ruu_size must be <= 128 (the issue scan's \
+             waiting-entry bitmap is 128 bits wide), got {}",
+            cfg.ruu_size
+        );
         BackEnd {
             ruu: VecDeque::with_capacity(cfg.ruu_size),
             reg_ready: [0; NUM_REGS],
@@ -122,6 +149,9 @@ impl BackEnd {
             dcache: SetAssocCache::new(cfg.dcache_capacity, cfg.dcache_line, cfg.dcache_assoc),
             stats: BackendStats::default(),
             next_seq: 0,
+            pending_mispredicts: 0,
+            waiting: 0,
+            wake_buf: Vec::with_capacity(cfg.width as usize),
             cfg,
         }
     }
@@ -162,16 +192,14 @@ impl BackEnd {
         // Capture source readiness as of dispatch (register rename):
         // either a concrete time, or the still-executing producer's seq.
         let mut src_time = [0u64; 2];
-        let mut src_dep = [None; 2];
         for (k, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             if let Some(r) = src.filter(|r| !r.is_zero()) {
                 let t = self.reg_ready[r.index()];
-                if t == PENDING {
-                    src_dep[k] = Some(self.last_writer[r.index()]);
-                    src_time[k] = PENDING;
+                src_time[k] = if t == PENDING {
+                    DEP | self.last_writer[r.index()]
                 } else {
-                    src_time[k] = t;
-                }
+                    t
+                };
             }
         }
         if let Some(d) = inst.dep_dest() {
@@ -179,6 +207,10 @@ impl BackEnd {
             self.last_writer[d.index()] = seq;
             self.reg_ready[d.index()] = PENDING;
         }
+        if mispredict {
+            self.pending_mispredicts += 1;
+        }
+        self.waiting |= 1u128 << self.ruu.len();
         self.ruu.push_back(RuuEntry {
             seq,
             op: inst.op,
@@ -186,18 +218,25 @@ impl BackEnd {
             mem_addr,
             state: EState::Waiting,
             src_time,
-            src_dep,
             mispredict,
         });
         seq
     }
 
-    /// Broadcast a finished producer to every waiting consumer.
-    fn wakeup(ruu: &mut VecDeque<RuuEntry>, producer: u64, at: u64) {
-        for e in ruu.iter_mut() {
+    /// Broadcast a finished producer to every waiting consumer.  Consumers
+    /// always sit *behind* their producer (dependences are captured at
+    /// in-order dispatch), so the walk starts at `from`; only `Waiting`
+    /// entries can carry unresolved tags, so it visits set bits of
+    /// `waiting` rather than every younger entry.
+    fn wakeup(ruu: &mut VecDeque<RuuEntry>, waiting: u128, from: usize, producer: u64, at: u64) {
+        let tag = DEP | producer;
+        let mut bits = if from < 128 { (waiting >> from) << from } else { 0 };
+        while bits != 0 {
+            let idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let e = &mut ruu[idx];
             for k in 0..2 {
-                if e.src_dep[k] == Some(producer) {
-                    e.src_dep[k] = None;
+                if e.src_time[k] == tag {
                     e.src_time[k] = at;
                 }
             }
@@ -207,38 +246,53 @@ impl BackEnd {
     /// A D-cache miss returned from the L2 system.
     pub fn on_completion(&mut self, c: &Completion) {
         let last_writer = self.last_writer;
-        let mut finished = Vec::new();
-        for e in &mut self.ruu {
-            if e.state == EState::WaitMem(c.id) {
-                e.state = EState::Done(c.ready_at + 1);
-                if let Some(d) = e.dst {
-                    finished.push((e.seq, c.ready_at + 1));
-                    if last_writer[d.index()] == e.seq {
-                        self.reg_ready[d.index()] = c.ready_at + 1;
-                    }
-                }
+        // Several loads can wait on one line request (MSHR merge).  Wakeup
+        // interleaves safely with the scan: it only patches src_dep /
+        // src_time, which the WaitMem match never reads.
+        for i in 0..self.ruu.len() {
+            let e = &mut self.ruu[i];
+            if e.state != EState::WaitMem(c.id) {
+                continue;
             }
-        }
-        for (seq, at) in finished {
-            Self::wakeup(&mut self.ruu, seq, at);
+            let at = c.ready_at + 1;
+            e.state = EState::Done(at);
+            let (seq, dst) = (e.seq, e.dst);
+            if let Some(d) = dst {
+                if last_writer[d.index()] == seq {
+                    self.reg_ready[d.index()] = at;
+                }
+                Self::wakeup(&mut self.ruu, self.waiting, i + 1, seq, at);
+            }
         }
     }
 
     fn ready(e: &RuuEntry, now: u64) -> bool {
-        e.src_dep == [None, None] && e.src_time[0] <= now && e.src_time[1] <= now
+        e.src_time[0] <= now && e.src_time[1] <= now
     }
 
     /// One cycle: issue, then commit.
     pub fn tick(&mut self, now: u64, l2: &mut L2System) -> BackTick {
         // ---- Issue: oldest-first, up to width, respecting D-cache ports.
+        //
+        // Wakeups are deferred to after the scan: every issue completes at
+        // now+1 or later (all execution latencies are >= 1), so a consumer
+        // woken by an instruction issued this cycle could never itself
+        // issue this cycle — deferral is bit-exact, and it lets the scan
+        // hold one iterator instead of re-indexing the deque per entry.
         let mut issued = 0u32;
         let mut dports = self.cfg.dcache_ports;
-        for i in 0..self.ruu.len() {
-            if issued >= self.cfg.width {
-                break;
-            }
-            let e = self.ruu[i];
-            if e.state != EState::Waiting || !Self::ready(&e, now) {
+        let width = self.cfg.width;
+        let dcache_latency = self.cfg.dcache_latency as u64;
+        let mut wake = std::mem::take(&mut self.wake_buf);
+        wake.clear();
+        // Walk only the Waiting entries (set bits), oldest first — the
+        // same visit order as a full scan that skipped non-Waiting states.
+        let mut bits = self.waiting;
+        while issued < width && bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let e = &mut self.ruu[i];
+            if !Self::ready(e, now) {
                 continue;
             }
             let done_at = match e.op {
@@ -251,7 +305,7 @@ impl BackEnd {
                     let addr = e.mem_addr.unwrap_or(0);
                     if self.dcache.lookup(addr) {
                         self.stats.dcache_hits += 1;
-                        now + 1 + self.cfg.dcache_latency as u64
+                        now + 1 + dcache_latency
                     } else {
                         self.stats.dcache_misses += 1;
                         let req = match l2.find_pending(addr) {
@@ -265,7 +319,8 @@ impl BackEnd {
                                 l2.submit_writeback(victim, now + 1);
                             }
                         }
-                        self.ruu[i].state = EState::WaitMem(req);
+                        e.state = EState::WaitMem(req);
+                        self.waiting &= !(1u128 << i);
                         issued += 1;
                         // Destination stays PENDING until completion.
                         continue;
@@ -303,33 +358,42 @@ impl BackEnd {
                     now + op.exec_latency() as u64
                 }
             };
-            self.ruu[i].state = EState::Done(done_at);
+            e.state = EState::Done(done_at);
+            self.waiting &= !(1u128 << i);
             if let Some(d) = e.dst {
                 if self.last_writer[d.index()] == e.seq {
                     self.reg_ready[d.index()] = done_at;
                 }
-                Self::wakeup(&mut self.ruu, e.seq, done_at);
+                wake.push((i + 1, e.seq, done_at));
             }
             issued += 1;
         }
+        for &(from, seq, at) in &wake {
+            Self::wakeup(&mut self.ruu, self.waiting, from, seq, at);
+        }
+        self.wake_buf = wake;
 
         // ---- Resolve mispredicted branches the moment they finish.
         let mut resolved = None;
-        for e in &self.ruu {
-            if e.mispredict {
-                if let EState::Done(t) = e.state {
-                    if t <= now + 1 {
-                        resolved = Some(e.seq);
+        if self.pending_mispredicts > 0 {
+            for e in &self.ruu {
+                if e.mispredict {
+                    if let EState::Done(t) = e.state {
+                        if t <= now + 1 {
+                            resolved = Some(e.seq);
+                        }
                     }
+                    break; // only the oldest unresolved mispredict matters
                 }
-                break; // only the oldest unresolved mispredict matters
             }
-        }
-        if resolved.is_some() {
-            // Clear the flag so the redirect fires exactly once.
-            for e in &mut self.ruu {
-                if Some(e.seq) == resolved {
-                    e.mispredict = false;
+            if resolved.is_some() {
+                // Clear the flag so the redirect fires exactly once.
+                for e in &mut self.ruu {
+                    if Some(e.seq) == resolved {
+                        e.mispredict = false;
+                        self.pending_mispredicts -= 1;
+                        break;
+                    }
                 }
             }
         }
@@ -349,6 +413,10 @@ impl BackEnd {
                 None => break,
             }
         }
+        // Committed entries were Done, never Waiting: shifting the bitmap
+        // down just re-anchors it at the new front.
+        debug_assert_eq!(self.waiting & ((1u128 << committed_now) - 1), 0);
+        self.waiting >>= committed_now;
         if committed_now == 0 {
             self.stats.commit_stall_cycles += 1;
         }

@@ -20,11 +20,14 @@ use crate::stats::SimStats;
 use prestage_bpred::{
     FetchBlockPredictor, GsharePredictor, StreamDesc, StreamPredictor, StreamPrediction,
 };
-use prestage_cache::{L2Config, L2System, ReqClass};
-use prestage_core::{Delivery, FrontEnd, PrefetchCheckpoint};
+use prestage_cache::{Completion, L2Config, L2System, ReqClass};
+use prestage_core::{
+    ClgpPrefetcher, Delivery, FdpPrefetcher, FrontEnd, InstrPrefetcher, ManaPrefetcher,
+    NextLinePrefetcher, NoPrefetcher, PrefetchCheckpoint, PrefetcherKind, ProgMapPrefetcher,
+};
 use prestage_isa::{Addr, INST_BYTES};
 use prestage_workload::{DynInst, InstSource, TraceGenerator, Workload};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 struct BlockInfo {
@@ -35,6 +38,79 @@ struct BlockInfo {
     insts: Vec<DynInst>,
     /// Index of the mispredicted instruction, if this block diverges.
     mispredict_idx: Option<u32>,
+}
+
+/// In-flight fetch blocks, keyed by their (strictly increasing) sequence
+/// number.  Successive seqs map to successive ring slots, so lookup and
+/// removal are O(1) index arithmetic instead of the `BTreeMap` walk the
+/// first implementation paid on every delivery.
+#[derive(Debug, Default)]
+struct BlockRing {
+    /// Sequence number of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<BlockInfo>>,
+    live: usize,
+}
+
+impl BlockRing {
+    /// Insert under `seq`, which must be >= every previously inserted seq
+    /// (block seqs are handed out monotonically).
+    fn insert(&mut self, seq: u64, info: BlockInfo) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        }
+        let Some(idx) = seq.checked_sub(self.base) else {
+            unreachable!("block seq {seq} inserted below ring base {}", self.base)
+        };
+        // prestage: allow(unwrap-in-lib, idx counts live blocks — a window that would overflow usize cannot be allocated)
+        let idx = usize::try_from(idx).expect("live block window fits in memory");
+        debug_assert!(idx >= self.slots.len(), "block seqs must arrive in order");
+        while self.slots.len() < idx {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(info));
+        self.live += 1;
+    }
+
+    fn get(&self, seq: u64) -> Option<&BlockInfo> {
+        let idx = usize::try_from(seq.checked_sub(self.base)?).ok()?;
+        self.slots.get(idx)?.as_ref()
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<BlockInfo> {
+        let idx = usize::try_from(seq.checked_sub(self.base)?).ok()?;
+        let info = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        // Advance the base past drained slots so the ring stays short.
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        Some(info)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Drop every block, recycling instruction buffers into `pool`.
+    fn clear_into(&mut self, pool: &mut Vec<Vec<DynInst>>) {
+        for info in self.slots.drain(..).flatten() {
+            recycle(pool, info.insts);
+        }
+        self.live = 0;
+    }
+}
+
+/// Cap on pooled instruction buffers: enough for every live block plus the
+/// pending-truth queue in any sane configuration.
+const VEC_POOL_CAP: usize = 64;
+
+fn recycle(pool: &mut Vec<Vec<DynInst>>, mut v: Vec<DynInst>) {
+    if v.capacity() > 0 && pool.len() < VEC_POOL_CAP {
+        v.clear();
+        pool.push(v);
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +206,24 @@ impl AnyPredictor {
         }
     }
 
+    /// Predict reusing the table indices captured in `tok` (taken at the
+    /// same start address with the same speculative history) — identical
+    /// result to [`predict`](Self::predict), minus recomputing them.
+    fn predict_with_token(
+        &mut self,
+        tok: &PredictorToken,
+        start: prestage_isa::Addr,
+        prog: &prestage_isa::Program,
+    ) -> StreamPrediction {
+        match (self, tok) {
+            (AnyPredictor::Stream(p), PredictorToken::Stream(t)) => {
+                p.predict_with_token(t, start, prog)
+            }
+            (AnyPredictor::Gshare(p), _) => p.predict(start, prog),
+            _ => unreachable!("token/predictor mismatch"),
+        }
+    }
+
     fn train(&mut self, tok: &PredictorToken, actual: &StreamDesc, was_correct: bool) {
         match (self, tok) {
             (AnyPredictor::Stream(p), PredictorToken::Stream(t)) => {
@@ -182,28 +276,36 @@ struct DecodeEntry {
 /// [`TraceGenerator`] by default, or a disk replay via
 /// [`Engine::with_source`] — the engine cannot tell the difference, which
 /// is what makes replayed sweeps bit-exact.
-pub struct Engine<'w> {
-    cfg: SimConfig,
-    w: &'w Workload,
-    src: Box<dyn InstSource + 'w>,
-    pred: AnyPredictor,
-    fe: FrontEnd,
-    be: BackEnd,
-    l2: L2System,
-    clock: u64,
+///
+/// `Engine` is a thin enum over the internal `EngineImpl`, monomorphized per prefetch
+/// mechanism: the one `match` at construction picks the variant, and from
+/// then on every per-cycle prefetcher hook (tick / observe-fetch /
+/// migration policy) is a statically dispatched — and inlinable — call
+/// instead of a virtual one.
+pub struct Engine<'w>(EngineInner<'w>);
 
-    next_seq: u64,
-    /// Truth streams waiting to be predicted (partial streams after a
-    /// mid-stream divergence resume here).
-    pending_truth: VecDeque<(StreamDesc, Vec<DynInst>)>,
-    blocks: BTreeMap<u64, BlockInfo>,
-    path: PathState,
-    redirect: Option<RedirectInfo>,
-    decode: VecDeque<DecodeEntry>,
+enum EngineInner<'w> {
+    None(EngineImpl<'w, NoPrefetcher>),
+    NextLine(EngineImpl<'w, NextLinePrefetcher>),
+    Fdp(EngineImpl<'w, FdpPrefetcher>),
+    Clgp(EngineImpl<'w, ClgpPrefetcher>),
+    Mana(EngineImpl<'w, ManaPrefetcher>),
+    ProgMap(EngineImpl<'w, ProgMapPrefetcher>),
+}
 
-    redirects: u64,
-    deliveries: Vec<Delivery>,
-    buf: Vec<DynInst>,
+/// Dispatch once on the mechanism variant, then run `$body` with `$e`
+/// bound to the concrete `EngineImpl`.
+macro_rules! for_each_engine {
+    ($inner:expr, $e:ident => $body:expr) => {
+        match $inner {
+            EngineInner::None($e) => $body,
+            EngineInner::NextLine($e) => $body,
+            EngineInner::Fdp($e) => $body,
+            EngineInner::Clgp($e) => $body,
+            EngineInner::Mana($e) => $body,
+            EngineInner::ProgMap($e) => $body,
+        }
+    };
 }
 
 impl<'w> Engine<'w> {
@@ -231,7 +333,75 @@ impl<'w> Engine<'w> {
         src: Box<dyn InstSource + 'w>,
         predictor: PredictorKind,
     ) -> Self {
-        Engine {
+        Engine(match cfg.frontend.prefetcher {
+            PrefetcherKind::None => {
+                EngineInner::None(EngineImpl::with_source(cfg, w, src, predictor))
+            }
+            PrefetcherKind::NextLine => {
+                EngineInner::NextLine(EngineImpl::with_source(cfg, w, src, predictor))
+            }
+            PrefetcherKind::Fdp => {
+                EngineInner::Fdp(EngineImpl::with_source(cfg, w, src, predictor))
+            }
+            PrefetcherKind::Clgp => {
+                EngineInner::Clgp(EngineImpl::with_source(cfg, w, src, predictor))
+            }
+            PrefetcherKind::Mana => {
+                EngineInner::Mana(EngineImpl::with_source(cfg, w, src, predictor))
+            }
+            PrefetcherKind::ProgMap => {
+                EngineInner::ProgMap(EngineImpl::with_source(cfg, w, src, predictor))
+            }
+        })
+    }
+
+    /// Run warm-up + measurement; returns the measured-window statistics.
+    pub fn run(self) -> SimStats {
+        for_each_engine!(self.0, e => e.run())
+    }
+
+    /// Committed instructions so far (including warm-up until reset).
+    pub fn committed(&self) -> u64 {
+        for_each_engine!(&self.0, e => e.committed())
+    }
+}
+
+/// The concrete cycle engine, generic over its prefetch mechanism.
+struct EngineImpl<'w, P: InstrPrefetcher> {
+    cfg: SimConfig,
+    w: &'w Workload,
+    src: Box<dyn InstSource + 'w>,
+    pred: AnyPredictor,
+    fe: FrontEnd<P>,
+    be: BackEnd,
+    l2: L2System,
+    clock: u64,
+
+    next_seq: u64,
+    /// Truth streams waiting to be predicted (partial streams after a
+    /// mid-stream divergence resume here).
+    pending_truth: VecDeque<(StreamDesc, Vec<DynInst>)>,
+    blocks: BlockRing,
+    path: PathState,
+    redirect: Option<RedirectInfo>,
+    decode: VecDeque<DecodeEntry>,
+
+    redirects: u64,
+    deliveries: Vec<Delivery>,
+    completions: Vec<Completion>,
+    /// Recycled instruction buffers: every truth stream and block split
+    /// draws from here, so steady-state prediction never allocates.
+    vec_pool: Vec<Vec<DynInst>>,
+}
+
+impl<'w, P: InstrPrefetcher> EngineImpl<'w, P> {
+    fn with_source(
+        cfg: SimConfig,
+        w: &'w Workload,
+        src: Box<dyn InstSource + 'w>,
+        predictor: PredictorKind,
+    ) -> Self {
+        EngineImpl {
             src,
             pred: AnyPredictor::new(predictor),
             fe: FrontEnd::new(cfg.frontend),
@@ -240,20 +410,25 @@ impl<'w> Engine<'w> {
             clock: 0,
             next_seq: 0,
             pending_truth: VecDeque::new(),
-            blocks: BTreeMap::new(),
+            blocks: BlockRing::default(),
             path: PathState::OnPath,
             redirect: None,
             decode: VecDeque::new(),
             redirects: 0,
             deliveries: Vec::with_capacity(8),
-            buf: Vec::with_capacity(64),
+            completions: Vec::with_capacity(8),
+            vec_pool: Vec::new(),
             cfg,
             w,
         }
     }
 
+    fn pooled(&mut self) -> Vec<DynInst> {
+        self.vec_pool.pop().unwrap_or_default()
+    }
+
     /// Run warm-up + measurement; returns the measured-window statistics.
-    pub fn run(mut self) -> SimStats {
+    fn run(mut self) -> SimStats {
         self.run_until_committed(self.cfg.warmup_insts);
         // Reset counters; keep all warm state.
         self.fe.reset_stats();
@@ -265,6 +440,20 @@ impl<'w> Engine<'w> {
 
         let target = self.cfg.measure_insts;
         self.run_until_committed(target);
+        // End-of-cell invariant: the hot-path tables must have drained to
+        // their steady-state bounds, not leaked (a route or block that
+        // never completes would grow them without limit).
+        debug_assert!(
+            self.fe.routes_len() <= self.l2.outstanding(),
+            "routes leaked past the outstanding L2 requests: {} routes, {} outstanding",
+            self.fe.routes_len(),
+            self.l2.outstanding()
+        );
+        debug_assert!(
+            self.blocks.len() <= self.cfg.frontend.queue_blocks + self.cfg.frontend.max_inflight + 1,
+            "live fetch blocks leaked: {}",
+            self.blocks.len()
+        );
 
         SimStats {
             seed: self.w.seed,
@@ -298,12 +487,15 @@ impl<'w> Engine<'w> {
         let now = self.clock;
 
         // 1. Memory-system completions route to their requesters.
-        for c in self.l2.tick(now) {
+        let mut completions = std::mem::take(&mut self.completions);
+        self.l2.tick_into(now, &mut completions);
+        for c in &completions {
             match c.class {
-                ReqClass::DCache => self.be.on_completion(&c),
-                _ => self.fe.on_completion(&c),
+                ReqClass::DCache => self.be.on_completion(c),
+                _ => self.fe.on_completion(c),
             }
         }
+        self.completions = completions;
 
         // 2. Back-end: issue, resolve branches, commit.
         let bt = self.be.tick(now, &mut self.l2);
@@ -347,14 +539,40 @@ impl<'w> Engine<'w> {
             self.predict_one_block();
         }
 
+        #[cfg(debug_assertions)]
+        self.assert_hot_state_bounded();
+
         self.clock += 1;
+    }
+
+    /// Per-cycle invariants over the flat hot-path tables: every live
+    /// block is queued, in flight through the fetch unit, or the one
+    /// predicted this cycle; every route maps to an outstanding L2
+    /// request.  Both checks are O(1) — counters against counters.
+    #[cfg(debug_assertions)]
+    fn assert_hot_state_bounded(&self) {
+        let block_bound =
+            self.cfg.frontend.queue_blocks + self.cfg.frontend.max_inflight + 1;
+        debug_assert!(
+            self.blocks.len() <= block_bound,
+            "cycle {}: {} live fetch blocks exceed the structural bound {block_bound}",
+            self.clock,
+            self.blocks.len()
+        );
+        debug_assert!(
+            self.fe.routes_len() <= self.l2.outstanding(),
+            "cycle {}: {} routes for {} outstanding L2 requests",
+            self.clock,
+            self.fe.routes_len(),
+            self.l2.outstanding()
+        );
     }
 
     /// Match a front-end delivery against its block's correct-path
     /// instructions; wrong-path deliveries evaporate here.
     fn route_delivery(&mut self, d: &Delivery) {
         let ready = d.cycle + self.cfg.decode_stages as u64;
-        let Some(info) = self.blocks.get(&d.block_seq) else {
+        let Some(info) = self.blocks.get(d.block_seq) else {
             return;
         };
         // `as u32` here could alias a far-out-of-range delivery back into
@@ -374,7 +592,9 @@ impl<'w> Engine<'w> {
             }
         }
         if d.completes_block {
-            self.blocks.remove(&d.block_seq);
+            if let Some(info) = self.blocks.remove(d.block_seq) {
+                recycle(&mut self.vec_pool, info.insts);
+            }
         }
     }
 
@@ -388,10 +608,17 @@ impl<'w> Engine<'w> {
         self.fe.flush();
         self.fe.prefetcher_restore(&r.pf_checkpoint);
         self.decode.clear();
-        self.blocks.clear();
+        self.blocks.clear_into(&mut self.vec_pool);
         self.pred.restore(&r.checkpoint);
         self.path = PathState::OnPath;
         self.redirects += 1;
+        // Redirect-flush invariant: no speculative per-cycle state survives
+        // the flush (routes do, deliberately — demand completions still in
+        // flight warm the caches exactly as wrong-path fills would).
+        debug_assert!(
+            self.blocks.len() == 0 && self.decode.is_empty(),
+            "redirect flush left speculative state behind"
+        );
     }
 
     /// Generate one fetch block from the predictor and hand it to the
@@ -422,16 +649,17 @@ impl<'w> Engine<'w> {
             PathState::OnPath => {
                 // Pull the next truth stream (a partial stream first, after
                 // a mid-stream split/divergence).
-                let (actual, insts) = match self.pending_truth.pop_front() {
+                let (actual, mut insts) = match self.pending_truth.pop_front() {
                     Some(x) => x,
                     None => {
-                        let s = self.src.next_stream(&mut self.buf);
-                        (s, self.buf.clone())
+                        let mut buf = self.pooled();
+                        let s = self.src.next_stream(&mut buf);
+                        (s, buf)
                     }
                 };
                 let checkpoint = self.pred.checkpoint();
                 let token = self.pred.token(actual.start);
-                let p = self.pred.predict(actual.start, &self.w.program);
+                let p = self.pred.predict_with_token(&token, actual.start, &self.w.program);
                 let ps = p.stream;
                 debug_assert_eq!(ps.start, actual.start);
 
@@ -464,16 +692,17 @@ impl<'w> Engine<'w> {
                     self.pred.train(&token, &actual, false);
                     if self.fe.push_block(seq, actual.start, plen) {
                         self.next_seq += 1;
-                        let (head, tail) = split_stream(&actual, &insts, plen);
+                        let mut tail_insts = self.pooled();
+                        let tail = split_stream(&actual, &mut insts, plen, &mut tail_insts);
                         self.blocks.insert(
                             seq,
                             BlockInfo {
                                 start: actual.start,
-                                insts: head,
+                                insts,
                                 mispredict_idx: None,
                             },
                         );
-                        self.pending_truth.push_front(tail);
+                        self.pending_truth.push_front((tail, tail_insts));
                     } else {
                         self.pending_truth.push_front((actual, insts));
                         self.pred.restore(&checkpoint);
@@ -489,31 +718,30 @@ impl<'w> Engine<'w> {
                     return;
                 }
                 self.next_seq += 1;
-                let (correct, mispredict_idx, tail) = if plen < alen {
+                let mispredict_idx = if plen < alen {
                     // Predictor broke out of the stream early: everything
                     // it fetched is still correct path; the instruction at
                     // the break point is the mispredicted branch, and the
                     // correct path resumes mid-stream.
-                    let (head, tail) = split_stream(&actual, &insts, plen);
-                    (head, plen - 1, Some(tail))
+                    let mut tail_insts = self.pooled();
+                    let tail = split_stream(&actual, &mut insts, plen, &mut tail_insts);
+                    self.pending_truth.push_front((tail, tail_insts));
+                    plen - 1
                 } else {
                     // Predictor sailed past the actual taken end (or got
                     // the target wrong): the actual stream's instructions
                     // are correct, its final CTI is the mispredicted one,
                     // and anything beyond is wrong path.
-                    (insts, alen - 1, None)
+                    alen - 1
                 };
                 self.blocks.insert(
                     seq,
                     BlockInfo {
                         start: actual.start,
-                        insts: correct,
+                        insts,
                         mispredict_idx: Some(mispredict_idx),
                     },
                 );
-                if let Some(tail) = tail {
-                    self.pending_truth.push_front(tail);
-                }
                 self.redirect = Some(RedirectInfo {
                     ruu_seq: None,
                     checkpoint,
@@ -527,28 +755,30 @@ impl<'w> Engine<'w> {
     }
 
     /// Committed instructions so far (including warm-up until reset).
-    pub fn committed(&self) -> u64 {
+    fn committed(&self) -> u64 {
         self.be.committed()
     }
 }
 
-/// Split a truth stream at instruction index `at` into (head instructions,
-/// (tail descriptor, tail instructions)).
+/// Split a truth stream at instruction index `at`: `insts` is truncated to
+/// the head in place, the tail instructions are copied into `tail_insts`
+/// (cleared first), and the tail descriptor is returned.
 fn split_stream(
     s: &StreamDesc,
-    insts: &[DynInst],
+    insts: &mut Vec<DynInst>,
     at: u32,
-) -> (Vec<DynInst>, (StreamDesc, Vec<DynInst>)) {
+    tail_insts: &mut Vec<DynInst>,
+) -> StreamDesc {
     debug_assert!(at >= 1 && at < s.len);
-    let head = insts[..at as usize].to_vec();
-    let tail_insts = insts[at as usize..].to_vec();
-    let tail = StreamDesc {
+    tail_insts.clear();
+    tail_insts.extend_from_slice(&insts[at as usize..]);
+    insts.truncate(at as usize);
+    StreamDesc {
         start: s.start + at as u64 * INST_BYTES,
         len: s.len - at,
         next: s.next,
         end: s.end,
-    };
-    (head, (tail, tail_insts))
+    }
 }
 
 #[cfg(test)]

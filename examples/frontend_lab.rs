@@ -7,10 +7,17 @@
 //! ```
 
 use fetch_prestaging::cache::{L2Config, L2System};
-use fetch_prestaging::core::{Delivery, FrontEnd, FrontendConfig, PrefetcherKind};
+use fetch_prestaging::core::{
+    ClgpPrefetcher, Delivery, FdpPrefetcher, FrontEnd, FrontendConfig, InstrPrefetcher,
+    NoPrefetcher, PrefetcherKind,
+};
 use fetch_prestaging::prelude::*;
 
-fn drive(mut fe: FrontEnd, l2: &mut L2System, blocks: &[(u64, u64, u32)]) -> (u64, Vec<Delivery>) {
+fn drive<P: InstrPrefetcher>(
+    mut fe: FrontEnd<P>,
+    l2: &mut L2System,
+    blocks: &[(u64, u64, u32)],
+) -> (u64, Vec<Delivery>) {
     let mut out = Vec::new();
     let mut pushed = 0usize;
     let mut done_at = 0;
@@ -46,19 +53,19 @@ fn main() {
     }
     blocks.push((seq, 0x20000, 16));
 
-    for pf in [PrefetcherKind::None, PrefetcherKind::Fdp, PrefetcherKind::Clgp] {
+    fn run_case<P: InstrPrefetcher>(tech: TechNode, pf: PrefetcherKind, blocks: &[(u64, u64, u32)]) {
         let mut cfg = FrontendConfig::base(tech, 8 << 10);
         cfg.prefetcher = pf;
         if pf != PrefetcherKind::None {
             cfg.pb_entries = 4;
         }
-        let fe = FrontEnd::new(cfg);
+        let fe = FrontEnd::<P>::new(cfg);
         let mut l2 = L2System::new(L2Config::for_node(tech));
         for line in 0..8u64 {
             l2.warm_fill(0x10000 + line * 64);
             l2.warm_fill(0x20000 + line * 64);
         }
-        let (done, out) = drive(fe, &mut l2, &blocks);
+        let (done, out) = drive(fe, &mut l2, blocks);
         let by_src = |s| {
             out.iter()
                 .filter(|d| d.source == s)
@@ -76,6 +83,9 @@ fn main() {
             by_src(Mem)
         );
     }
+    run_case::<NoPrefetcher>(tech, PrefetcherKind::None, &blocks);
+    run_case::<FdpPrefetcher>(tech, PrefetcherKind::Fdp, &blocks);
+    run_case::<ClgpPrefetcher>(tech, PrefetcherKind::Clgp, &blocks);
     println!(
         "\nCLGP pins the loop's three lines with its consumers counters and\n\
          re-serves them at one cycle; FDP re-fetches them from the multi-cycle\n\

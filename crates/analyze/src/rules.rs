@@ -135,6 +135,7 @@ const CYCLE_PATH_FILES: &[&str] = &[
     "crates/cache/src/bus.rs",
     "crates/cache/src/lru.rs",
     "crates/cache/src/port.rs",
+    "crates/cache/src/tlb.rs",
     "crates/bpred/src/predictor.rs",
     "crates/bpred/src/gshare.rs",
     "crates/bpred/src/ras.rs",

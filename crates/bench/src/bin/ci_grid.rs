@@ -24,7 +24,7 @@ use prestage_bench::perf::{diff, load_baseline, parse_medians_tsv, CellPerf, Per
 use prestage_bench::{results_dir, size_label};
 use prestage_cacti::TechNode;
 use prestage_serve::{Dispatch, Response, Scheduler, ServeConfig};
-use prestage_sim::{run_spec_cells, CellGrid, ConfigPreset, ExperimentSpec, PrefetcherKind};
+use prestage_sim::{run_spec_cells, CellGrid, ConfigPreset, ExperimentSpec, ITlbConfig, PrefetcherKind};
 use std::io::Write;
 
 /// True median: mean of the two middle elements for even counts (the CI
@@ -221,6 +221,35 @@ fn main() {
             preset: kind.id().to_string(),
             l1: mech_l1,
             hmean_ipc: mmerged[0][0].hmean_ipc(),
+            median_cell_wall_s: median(&walls),
+            min_cell_wall_s: walls[0],
+            max_cell_wall_s: walls[walls.len() - 1],
+        });
+    }
+    // TLB-on row (artifact schema 6): the CLGP+L0 preset re-simulated with
+    // the default i-TLB threaded through the fetch path, so the perf gate
+    // watches both the translated cycle path's wall-clock (tlb probes are
+    // hot-path work) and its IPC (translation stalls are timing behaviour).
+    {
+        let tspec = ExperimentSpec {
+            presets: vec![ConfigPreset::ClgpL0],
+            l1_sizes: vec![mech_l1],
+            itlb: Some(ITlbConfig::default_config()),
+            ..spec.clone()
+        };
+        let tgrid = CellGrid::from_spec(&tspec).unwrap_or_else(|e| {
+            eprintln!("ci_grid: invalid TLB-on spec: {e}");
+            std::process::exit(2);
+        });
+        total_cells += tgrid.n_cells();
+        let tresults = run_spec_cells(&tspec, &tgrid.cells()).expect("validated above");
+        let mut walls: Vec<f64> = tresults.iter().map(|r| r.wall.as_secs_f64()).collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let tmerged = tgrid.merge_named(tresults, &names);
+        cells.push(CellPerf {
+            preset: format!("{}+itlb", ConfigPreset::ClgpL0.id()),
+            l1: mech_l1,
+            hmean_ipc: tmerged[0][0].hmean_ipc(),
             median_cell_wall_s: median(&walls),
             min_cell_wall_s: walls[0],
             max_cell_wall_s: walls[walls.len() - 1],

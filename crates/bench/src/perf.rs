@@ -5,7 +5,7 @@
 //!
 //! Serialization rides the shared [`prestage_json`] module (the original
 //! hand-rolled line scanner this module started as was promoted there).
-//! Baselines load through [`load_baseline`]: the previous schema (4) is
+//! Baselines load through [`load_baseline`]: the previous schema (5) is
 //! upgraded in place so one schema bump never costs a comparison, and
 //! anything else — an older schema, damaged JSON, a truncation — is a
 //! *named* error rather than a silent "no baseline".
@@ -110,10 +110,12 @@ pub struct PerfReport {
 /// per-row min/max cell wall-clock (noise characterization); 4 added the
 /// `serve` orchestrator-throughput section; 5 added per-bench
 /// `elems`/`policy` (throughput + measurement-policy provenance) and the
-/// spread-derived `fail_threshold`.  A schema-4 baseline is upgraded in
-/// place by [`load_baseline`]; anything older reads as a *named* schema
-/// mismatch, never a silent "no baseline".
-pub const PERF_SCHEMA: u32 = 5;
+/// spread-derived `fail_threshold`; 6 grew the grid's row set with the
+/// TLB-on row (an `itlb`-suffixed preset label simulated with address
+/// translation enabled).  A schema-5 baseline is upgraded in place by
+/// [`load_baseline`]; anything older reads as a *named* schema mismatch,
+/// never a silent "no baseline".
+pub const PERF_SCHEMA: u32 = 6;
 
 /// Relative change `new/old - 1`, with a zero/zero as no change and a
 /// from-zero jump as +inf.
@@ -198,7 +200,7 @@ impl PerfReport {
     /// Returns `None` on anything that does not look like a complete
     /// current-schema report, so CI treats a stale or damaged artifact as
     /// "no baseline" rather than silently comparing less.  For baseline
-    /// loading with explicit schema-4 upgrade, use [`load_baseline`].
+    /// loading with explicit schema-5 upgrade, use [`load_baseline`].
     pub fn from_json(text: &str) -> Option<PerfReport> {
         let v = Json::parse(text).ok()?;
         if v.get("schema")?.as_u64()? as u32 != PERF_SCHEMA {
@@ -207,9 +209,10 @@ impl PerfReport {
         Self::parse_with_schema(&v, PERF_SCHEMA)
     }
 
-    /// Shared body for schema 5 (current) and schema 4 (upgrade path):
-    /// schema 4 lacks per-bench `elems`/`policy` and the recorded
-    /// `fail_threshold`, so those default to unknown / derived.
+    /// Shared body for schema 6 (current) and schema 5 (upgrade path):
+    /// the two are structurally identical — 6 marks the grid's row set
+    /// growing the TLB-on row — while the `schema >= 5` guards keep the
+    /// historical field boundaries explicit.
     fn parse_with_schema(v: &Json, schema: u32) -> Option<PerfReport> {
         let cells = v
             .get("cells")?
@@ -273,12 +276,12 @@ impl PerfReport {
 }
 
 /// Load a baseline artifact for comparison: upgrade-or-compare,
-/// explicitly.  A current-schema report parses as-is; a schema-4 report
-/// is upgraded in place (bench throughput/policy unknown, threshold
-/// derived from its recorded spreads) with a note saying so; anything
-/// else — an older schema, a future schema, damaged JSON — is a *named*
-/// error, so CI output states exactly why no comparison happened instead
-/// of silently skipping it.
+/// explicitly.  A current-schema report parses as-is; a schema-5 report
+/// is upgraded in place (it predates the TLB-on grid row, which will
+/// diff as a new cell) with a note saying so; anything else — an older
+/// schema, a future schema, damaged JSON — is a *named* error, so CI
+/// output states exactly why no comparison happened instead of silently
+/// skipping it.
 pub fn load_baseline(text: &str) -> Result<(PerfReport, Option<String>), String> {
     let v = Json::parse(text).map_err(|e| format!("baseline artifact is not JSON: {e}"))?;
     let schema = v
@@ -290,20 +293,18 @@ pub fn load_baseline(text: &str) -> Result<(PerfReport, Option<String>), String>
         PERF_SCHEMA => PerfReport::parse_with_schema(&v, PERF_SCHEMA)
             .map(|r| (r, None))
             .ok_or_else(|| format!("baseline artifact is schema {PERF_SCHEMA} but incomplete")),
-        4 => PerfReport::parse_with_schema(&v, 4)
+        5 => PerfReport::parse_with_schema(&v, 5)
             .map(|r| {
                 let note = format!(
-                    "baseline artifact upgraded from schema 4 to {PERF_SCHEMA} \
-                     (bench throughput/policy unknown; fail threshold {:.0}% derived \
-                     from its recorded spreads)",
-                    100.0 * r.fail_threshold
+                    "baseline artifact upgraded from schema 5 to {PERF_SCHEMA} \
+                     (predates the TLB-on grid row, which will diff as a new cell)"
                 );
                 (r, Some(note))
             })
-            .ok_or_else(|| "baseline artifact is schema 4 but incomplete".to_string()),
+            .ok_or_else(|| "baseline artifact is schema 5 but incomplete".to_string()),
         n => Err(format!(
             "baseline artifact is schema {n}, this build reads {PERF_SCHEMA} \
-             (upgradeable: 4) — regenerate the baseline"
+             (upgradeable: 5) — regenerate the baseline"
         )),
     }
 }
@@ -583,51 +584,33 @@ mod tests {
         assert!(PerfReport::from_json("not json at all").is_none());
         let other = report(1.0, 1.0)
             .to_json()
-            .replace("\"schema\": 5", "\"schema\": 2");
+            .replace("\"schema\": 6", "\"schema\": 2");
         assert!(PerfReport::from_json(&other).is_none());
     }
 
-    /// A schema-4 artifact (the previous release's format, without bench
-    /// elems/policy or a recorded threshold) must read as the current
-    /// schema's shape.
-    fn schema4_json() -> String {
-        let mut r = report(1.0, 0.01);
-        r.benches[0].elems = 0;
-        r.benches[0].policy = String::new();
-        r.to_json()
-            .replace("\"schema\": 5", "\"schema\": 4")
-            .lines()
-            .filter(|l| {
-                !l.contains("\"elems\"")
-                    && !l.contains("\"policy\"")
-                    && !l.contains("\"fail_threshold\"")
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
-            // Dropping the last field of the bench object leaves a
-            // trailing comma on `median_ns`.
-            .replace("\"median_ns\": 6420000.0,", "\"median_ns\": 6420000.0")
+    /// A schema-5 artifact (the previous release's format — structurally
+    /// identical, but written before the grid grew the TLB-on row) must
+    /// read as the current schema's shape.
+    fn schema5_json() -> String {
+        report(1.0, 0.01)
+            .to_json()
+            .replace("\"schema\": 6", "\"schema\": 5")
     }
 
     #[test]
-    fn baseline_upgrades_schema_4_and_names_everything_else() {
-        // Schema 5 loads clean, no note.
-        let five = report(1.0, 0.01);
-        let (loaded, note) = load_baseline(&five.to_json()).expect("current schema loads");
-        assert_eq!(loaded, five);
+    fn baseline_upgrades_schema_5_and_names_everything_else() {
+        // Schema 6 loads clean, no note.
+        let six = report(1.0, 0.01);
+        let (loaded, note) = load_baseline(&six.to_json()).expect("current schema loads");
+        assert_eq!(loaded, six);
         assert!(note.is_none());
 
-        // Schema 4 upgrades: unknown bench throughput/policy, threshold
-        // derived from its recorded spreads, and a note saying so.
-        let (up, note) = load_baseline(&schema4_json()).expect("schema 4 upgrades");
+        // Schema 5 upgrades in place, with a note naming the boundary.
+        let (up, note) = load_baseline(&schema5_json()).expect("schema 5 upgrades");
         let note = note.expect("upgrade is announced");
-        assert!(note.contains("schema 4"), "{note}");
-        assert_eq!(up.benches[0].elems, 0);
-        assert!(up.benches[0].policy.is_empty());
-        assert_eq!(
-            up.fail_threshold,
-            PerfReport::derived_fail_threshold(&up.cells)
-        );
+        assert!(note.contains("schema 5"), "{note}");
+        assert!(note.contains("TLB"), "{note}");
+        assert_eq!(up, report(1.0, 0.01));
         // The upgraded baseline diffs against a current report without
         // spurious warnings: the schema boundary costs nothing.
         let (deltas, warnings, failures) = diff(&up, &report(1.0, 0.01));
@@ -635,12 +618,20 @@ mod tests {
         assert!(warnings.is_empty(), "{warnings:?}");
         assert!(failures.is_empty(), "{failures:?}");
 
-        // Everything else is a *named* refusal, not a silent skip.
+        // Everything else is a *named* refusal, not a silent skip —
+        // including schema 4, which was upgradeable one release ago and
+        // now names both itself and the supported upgrade floor.
         let e = load_baseline("not json").unwrap_err();
         assert!(e.contains("not JSON"), "{e}");
+        let four = report(1.0, 1.0)
+            .to_json()
+            .replace("\"schema\": 6", "\"schema\": 4");
+        let e = load_baseline(&four).unwrap_err();
+        assert!(e.contains("schema 4"), "{e}");
+        assert!(e.contains("upgradeable: 5"), "{e}");
         let two = report(1.0, 1.0)
             .to_json()
-            .replace("\"schema\": 5", "\"schema\": 2");
+            .replace("\"schema\": 6", "\"schema\": 2");
         let e = load_baseline(&two).unwrap_err();
         assert!(e.contains("schema 2"), "{e}");
         let e = load_baseline("{\"schema\": true}").unwrap_err();

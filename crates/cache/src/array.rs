@@ -13,6 +13,68 @@ pub struct CacheStats {
     pub evictions: u64,
     pub probes: u64,
     pub probe_hits: u64,
+    /// Prefetch-class fills dropped by the [`InsertionPolicy::Bypass`]
+    /// policy (counted separately from `fills`, which only counts lines
+    /// that actually entered the array).
+    pub bypasses: u64,
+}
+
+/// Where a prefetch-class fill lands in the replacement order.
+///
+/// Demand fills always insert at MRU; this policy only governs fills tagged
+/// [`FillClass::Prefetch`] — speculative lines whose usefulness is not yet
+/// proven.  Per Jamet et al., naive MRU insertion of speculative lines can
+/// erase a prefetcher's front-end gains by evicting demand-hot lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertionPolicy {
+    /// Insert at MRU, exactly like a demand fill (the historical behavior).
+    Mru,
+    /// Insert at the LRU position: the line gets one reuse window before it
+    /// becomes the preferred victim, so useless prefetches barely pollute.
+    Lru,
+    /// Do not insert at all — the speculative line is dropped (bypass).
+    Bypass,
+}
+
+impl InsertionPolicy {
+    pub fn all() -> [InsertionPolicy; 3] {
+        [
+            InsertionPolicy::Mru,
+            InsertionPolicy::Lru,
+            InsertionPolicy::Bypass,
+        ]
+    }
+
+    /// Stable wire id (spec JSON / CLI).
+    pub fn id(self) -> &'static str {
+        match self {
+            InsertionPolicy::Mru => "mru",
+            InsertionPolicy::Lru => "lru",
+            InsertionPolicy::Bypass => "bypass",
+        }
+    }
+
+    /// Parse a wire id; the error names every valid id.
+    pub fn from_id(s: &str) -> Result<InsertionPolicy, String> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.id() == s)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Self::all().iter().map(|p| p.id()).collect();
+                format!("unknown insertion policy `{s}` (valid: {})", valid.join(", "))
+            })
+    }
+}
+
+/// The class of a cache fill: who is inserting the line and how sure they
+/// are it will be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillClass {
+    /// A demand miss (or a line the front-end already consumed): insert at
+    /// MRU unconditionally.
+    Demand,
+    /// A speculative (prefetched) line: insertion is governed by the policy.
+    Prefetch(InsertionPolicy),
 }
 
 impl CacheStats {
@@ -145,10 +207,32 @@ impl SetAssocCache {
     /// Insert the line containing `addr`; evicts LRU if the set is full.
     /// Returns the evicted line's base address and dirty flag, if any.
     /// Filling an already-present line refreshes its LRU position instead.
+    ///
+    /// Equivalent to [`fill_with`](Self::fill_with) with
+    /// [`FillClass::Demand`] — demand fills always insert at MRU.
     pub fn fill(&mut self, addr: Addr) -> Option<(Addr, bool)> {
+        self.fill_with(addr, FillClass::Demand)
+    }
+
+    /// Classed insert: demand fills behave exactly like [`fill`](Self::fill)
+    /// always has; prefetch-class fills follow their [`InsertionPolicy`].
+    ///
+    /// * `Prefetch(Mru)` is bit-identical to a demand fill.
+    /// * `Prefetch(Lru)` inserts the line at the LRU position (and leaves
+    ///   the replacement order untouched when the line is already present —
+    ///   a speculative fill must not promote a line it did not bring in).
+    /// * `Prefetch(Bypass)` drops the line entirely and counts a bypass.
+    pub fn fill_with(&mut self, addr: Addr, class: FillClass) -> Option<(Addr, bool)> {
+        if let FillClass::Prefetch(InsertionPolicy::Bypass) = class {
+            self.stats.bypasses += 1;
+            return None;
+        }
+        let at_lru = matches!(class, FillClass::Prefetch(InsertionPolicy::Lru));
         self.stats.fills += 1;
         if let Some((set, way)) = self.find(addr) {
-            self.lru[set].touch(way);
+            if !at_lru {
+                self.lru[set].touch(way);
+            }
             return None;
         }
         let ln = self.line_num(addr);
@@ -169,7 +253,11 @@ impl SetAssocCache {
         self.tags[base + way] = ln;
         self.valid[base + way] = true;
         self.dirty[base + way] = false;
-        self.lru[set].touch(way);
+        if at_lru {
+            self.lru[set].demote(way);
+        } else {
+            self.lru[set].touch(way);
+        }
         victim
     }
 
@@ -332,5 +420,60 @@ mod tests {
         assert_eq!(c.capacity_bytes(), 32 << 10);
         assert_eq!(c.line_bytes(), 64);
         assert_eq!(c.assoc(), 2);
+    }
+
+    #[test]
+    fn prefetch_mru_fill_matches_demand_fill() {
+        let mut a = SetAssocCache::new(256, 64, 2);
+        let mut b = SetAssocCache::new(256, 64, 2);
+        for addr in [0x000u64, 0x100, 0x000, 0x200, 0x300] {
+            let va = a.fill(addr);
+            let vb = b.fill_with(addr, FillClass::Prefetch(InsertionPolicy::Mru));
+            assert_eq!(va, vb);
+        }
+        assert_eq!(a.stats(), b.stats());
+        for addr in [0x000u64, 0x100, 0x200, 0x300] {
+            assert_eq!(a.contains(addr), b.contains(addr));
+        }
+    }
+
+    #[test]
+    fn prefetch_lru_fill_is_preferred_victim() {
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.fill(0x000); // demand, MRU
+        c.fill_with(0x100, FillClass::Prefetch(InsertionPolicy::Lru));
+        // The speculative line is the victim even though it arrived last.
+        let victim = c.fill(0x200);
+        assert_eq!(victim, Some((0x100, false)));
+        assert!(c.contains(0x000));
+    }
+
+    #[test]
+    fn prefetch_lru_refill_does_not_promote() {
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.fill(0x000);
+        c.fill(0x100); // 0x000 is now LRU
+        c.fill_with(0x000, FillClass::Prefetch(InsertionPolicy::Lru));
+        // 0x000 stays LRU: a speculative re-fill must not refresh it.
+        let victim = c.fill(0x200);
+        assert_eq!(victim, Some((0x000, false)));
+    }
+
+    #[test]
+    fn prefetch_bypass_drops_line() {
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.fill_with(0x000, FillClass::Prefetch(InsertionPolicy::Bypass));
+        assert!(!c.contains(0x000));
+        assert_eq!(c.stats().bypasses, 1);
+        assert_eq!(c.stats().fills, 0);
+    }
+
+    #[test]
+    fn insertion_policy_ids_round_trip() {
+        for p in InsertionPolicy::all() {
+            assert_eq!(InsertionPolicy::from_id(p.id()), Ok(p));
+        }
+        let err = InsertionPolicy::from_id("plru").unwrap_err();
+        assert!(err.contains("plru") && err.contains("mru") && err.contains("bypass"));
     }
 }

@@ -13,6 +13,9 @@
 //! * [`L2System`] — the unified L2 cache, the L2 bus (one request per
 //!   cycle, priority: L1-D > L1-I demand > prefetch, §4.1 of the paper) and
 //!   main memory behind it.
+//! * [`ITlb`] — the instruction TLB the fetch path translates through when
+//!   configured, with [`FillClass`]/[`InsertionPolicy`] classing speculative
+//!   fills (insert-at-LRU / bypass) per Jamet et al.
 //!
 //! Latencies are supplied by [`prestage_cacti`] so every structure is
 //! consistent with the paper's Table 3.
@@ -21,7 +24,9 @@ pub mod array;
 pub mod bus;
 pub mod lru;
 pub mod port;
+pub mod tlb;
 
-pub use array::{CacheStats, SetAssocCache};
+pub use array::{CacheStats, FillClass, InsertionPolicy, SetAssocCache};
 pub use bus::{BusStats, Completion, L2Config, L2System, MemSource, ReqClass, ReqId};
 pub use port::ArrayPort;
+pub use tlb::{ITlb, ITlbConfig, TlbCheckpoint, TlbStats};

@@ -55,6 +55,22 @@ impl LruSet {
             .map(|(way, _)| way)
     }
 
+    /// Mark `way` least recently used (the dual of [`touch`](Self::touch)).
+    ///
+    /// Used by the insert-at-LRU fill policy for speculative lines: the way
+    /// drops to rank `assoc-1`, every way that was colder than it warms by
+    /// one rank, and the permutation invariant is preserved.
+    pub fn demote(&mut self, way: usize) {
+        let old = self.rank[way];
+        for r in &mut self.rank {
+            if *r > old {
+                *r -= 1;
+            }
+        }
+        // prestage: allow(truncating-cast, new() asserts assoc <= 255 so len-1 fits u8)
+        self.rank[way] = (self.rank.len() - 1) as u8;
+    }
+
     /// Current rank of a way (0 = MRU).
     pub fn rank_of(&self, way: usize) -> u8 {
         self.rank[way]
@@ -118,6 +134,44 @@ mod tests {
             for w in 0..8 {
                 let r = l.rank_of(w) as usize;
                 assert!(!seen[r], "duplicate rank");
+                seen[r] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn demote_moves_to_lru() {
+        let mut l = LruSet::new(4);
+        l.touch(2); // ranks: 2->0, 0->1, 1->2, 3->3
+        l.demote(2);
+        assert_eq!(l.rank_of(2), 3);
+        assert_eq!(l.lru(), 2);
+        // Ways that were colder than the demoted way each warmed by one.
+        assert_eq!(l.rank_of(0), 0);
+        assert_eq!(l.rank_of(1), 1);
+        assert_eq!(l.rank_of(3), 2);
+    }
+
+    #[test]
+    fn demote_of_lru_is_identity() {
+        let mut l = LruSet::new(3);
+        let lru = l.lru();
+        let before: Vec<u8> = (0..3).map(|w| l.rank_of(w)).collect();
+        l.demote(lru);
+        let after: Vec<u8> = (0..3).map(|w| l.rank_of(w)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn demote_preserves_permutation() {
+        let mut l = LruSet::new(8);
+        for (t, d) in [(3usize, 1usize), (4, 4), (0, 7), (5, 2), (6, 6)] {
+            l.touch(t);
+            l.demote(d);
+            let mut seen = [false; 8];
+            for w in 0..8 {
+                let r = l.rank_of(w) as usize;
+                assert!(!seen[r], "duplicate rank after demote");
                 seen[r] = true;
             }
         }

@@ -1,5 +1,6 @@
 //! Front-end configuration and derived latencies.
 
+use prestage_cache::{ITlbConfig, InsertionPolicy};
 use prestage_cacti::{latency_cycles, CacheGeometry, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +130,18 @@ pub struct FrontendConfig {
     /// Ablation: CLGP filters L1-resident lines like FDP (quantifies
     /// hit-latency avoidance, the paper's "even to avoid the hit penalty").
     pub ablate_filter: bool,
+    /// Optional instruction TLB.  `None` models free translation (the
+    /// paper's implicit assumption); `Some` threads every fetched or
+    /// prefetched address through a set-associative i-TLB whose misses
+    /// charge a fixed page-walk latency.
+    pub itlb: Option<ITlbConfig>,
+    /// Insertion-policy override for *prefetch-class* fills into the
+    /// L0/L1 (migrated pre-buffer lines).  `None` uses each mechanism's
+    /// own choice ([`InstrPrefetcher::prefetch_insertion`]
+    /// (crate::prefetch::InstrPrefetcher::prefetch_insertion), MRU for
+    /// every current mechanism); `Some` forces one policy across
+    /// mechanisms for apples-to-apples sweeps.
+    pub insertion: Option<InsertionPolicy>,
 }
 
 impl FrontendConfig {
@@ -161,6 +174,8 @@ impl FrontendConfig {
             ablate_free_on_use: false,
             ablate_migrate: false,
             ablate_filter: false,
+            itlb: None,
+            insertion: None,
         }
     }
 
@@ -221,6 +236,9 @@ impl FrontendConfig {
             if self.mana_sab_entries == 0 {
                 return Err("mana_sab_entries must be at least 1".into());
             }
+        }
+        if let Some(itlb) = &self.itlb {
+            itlb.validate(self.line_bytes as usize)?;
         }
         if self.prefetcher == PrefetcherKind::ProgMap {
             if !self.progmap_entries.is_power_of_two() {
@@ -359,6 +377,25 @@ mod tests {
         c.pb_entries = 16;
         c.pb_pipelined = true;
         assert_eq!(c.fetch_pipeline_stages(), 3);
+    }
+
+    #[test]
+    fn itlb_validation_is_threaded_through() {
+        let mut c = FrontendConfig::base(TechNode::T090, 4 << 10);
+        assert!(c.validate().is_ok());
+        c.itlb = Some(ITlbConfig::default_config());
+        assert!(c.validate().is_ok());
+        c.itlb = Some(ITlbConfig {
+            page_bytes: 32, // below the 64-byte line
+            ..ITlbConfig::default_config()
+        });
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("page_bytes"), "got: {err}");
+        c.itlb = Some(ITlbConfig {
+            entries: 48,
+            ..ITlbConfig::default_config()
+        });
+        assert!(c.validate().unwrap_err().contains("itlb entries"));
     }
 
     #[test]

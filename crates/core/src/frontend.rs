@@ -39,7 +39,10 @@ use crate::config::{FrontendConfig, PrefetcherKind};
 use crate::prefetch::{InstrPrefetcher, PrefetchCheckpoint, PrefetchView};
 use crate::queue::{FetchQueue, LineSlot, QueueKind};
 use crate::stats::FrontStats;
-use prestage_cache::{ArrayPort, Completion, L2System, MemSource, ReqClass, ReqId, SetAssocCache};
+use prestage_cache::{
+    ArrayPort, Completion, FillClass, ITlb, L2System, MemSource, ReqClass, ReqId, SetAssocCache,
+    TlbCheckpoint, TlbStats,
+};
 use prestage_isa::{Addr, INST_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -155,6 +158,15 @@ pub struct FrontEnd<P: InstrPrefetcher> {
     l1_copies: Vec<(u64, ReqId)>,
     routes: RouteTable,
     next_synth: u64,
+    /// Optional instruction TLB: every line address the fetch unit or the
+    /// prefetch mechanism touches translates through it (misses charge
+    /// `miss_cycles` before the array/L2 access starts).  `None` models
+    /// free translation — the pre-TLB behavior, bit for bit.
+    tlb: Option<ITlb>,
+    /// Insertion class for prefetch-originated fills into L0/L1 (the
+    /// migration path): the config override, else the mechanism's
+    /// [`InstrPrefetcher::prefetch_insertion`] choice, resolved once.
+    migrate_class: FillClass,
     stats: FrontStats,
 }
 
@@ -195,6 +207,8 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
                 ArrayPort::new(cfg.l0_latency(), false),
             )
         });
+        let migrate_class =
+            FillClass::Prefetch(cfg.insertion.unwrap_or_else(|| pf.prefetch_insertion()));
         FrontEnd {
             queue: FetchQueue::new(kind, cfg.line_bytes, cfg.queue_blocks),
             pb,
@@ -208,6 +222,8 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
             l1_copies: Vec::new(),
             routes: RouteTable::default(),
             next_synth: SYNTH_BASE,
+            tlb: cfg.itlb.map(|c| ITlb::new(&c)),
+            migrate_class,
             cfg,
             stats: FrontStats::default(),
         }
@@ -228,6 +244,9 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
         self.l1.reset_stats();
         if let Some((l0, _)) = &mut self.l0 {
             l0.reset_stats();
+        }
+        if let Some(tlb) = &mut self.tlb {
+            tlb.reset_stats();
         }
         self.pf.reset_stats();
     }
@@ -300,6 +319,33 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
         self.pf.state_bytes()
     }
 
+    /// i-TLB storage in bytes (0 when translation is free/unmodeled).
+    pub fn tlb_state_bytes(&self) -> usize {
+        self.tlb.as_ref().map_or(0, |t| t.state_bytes())
+    }
+
+    /// i-TLB hit/miss counters, when a TLB is configured.
+    pub fn tlb_stats(&self) -> Option<TlbStats> {
+        self.tlb.as_ref().map(|t| *t.stats())
+    }
+
+    /// Snapshot the i-TLB contents (tags + replacement state) — taken by
+    /// the engine at a predicted branch, alongside
+    /// [`prefetcher_checkpoint`](Self::prefetcher_checkpoint).  Empty when
+    /// no TLB is configured.
+    pub fn tlb_checkpoint(&self) -> TlbCheckpoint {
+        self.tlb.as_ref().map(ITlb::checkpoint).unwrap_or_default()
+    }
+
+    /// Reinstall a [`tlb_checkpoint`](Self::tlb_checkpoint) after a
+    /// redirect, so wrong-path translations do not survive into replayed
+    /// right-path execution (keeping checkpoint replay bit-exact).
+    pub fn tlb_restore(&mut self, cp: &TlbCheckpoint) {
+        if let Some(tlb) = &mut self.tlb {
+            tlb.restore(cp);
+        }
+    }
+
     /// Route an L2-system completion (the engine filters by requester).
     pub fn on_completion(&mut self, c: &Completion) {
         let Some(route) = self.routes.remove(c.id) else {
@@ -362,6 +408,7 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
             l1_copies,
             routes,
             next_synth,
+            tlb,
             stats,
             pf,
             ..
@@ -376,6 +423,7 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
             l1_copies,
             routes,
             next_synth,
+            tlb: tlb.as_mut(),
             stats,
         };
         pf.tick(now, &mut view, l2);
@@ -428,20 +476,32 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
         }
     }
 
+    /// Translate `line`'s page on the demand path: the cycle at which the
+    /// array/L2 access may start (`now` with no TLB or on a hit; a miss
+    /// serializes the page walk before the access).
+    fn translate_demand(&mut self, line: Addr, now: u64) -> u64 {
+        match &mut self.tlb {
+            Some(tlb) => tlb.translate(line, now),
+            None => now,
+        }
+    }
+
     /// Probe L0 and L1 for `line` (the pre-buffer was already consulted);
-    /// on a full miss, raise a demand request.
-    fn probe_storage(&mut self, line: Addr, now: u64, l2: &mut L2System) -> (LfState, FetchSource) {
+    /// on a full miss, raise a demand request.  `at` is the cycle the
+    /// access may start — `now`, pushed out by a TLB walk if one was
+    /// needed.
+    fn probe_storage(&mut self, line: Addr, at: u64, l2: &mut L2System) -> (LfState, FetchSource) {
         if let Some((l0, port)) = &mut self.l0 {
             if l0.lookup(line) {
-                let ready = port.start(now);
+                let ready = port.start(at);
                 return (LfState::Ready(ready), FetchSource::L0);
             }
         }
         if self.l1.lookup(line) {
-            let ready = self.l1_port.start(now);
+            let ready = self.l1_port.start(at);
             (LfState::Ready(ready), FetchSource::L1)
         } else {
-            let tag_done = self.l1_port.start(now);
+            let tag_done = self.l1_port.start(at);
             let req = match l2.find_pending(line) {
                 Some(r) => {
                     l2.upgrade(r, ReqClass::IFetch);
@@ -509,13 +569,17 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
                     // Migration into the one-cycle reach — L0 when present
                     // (§3.1.1), else the L1 — is the mechanism's policy:
                     // FDP migrates, CLGP keeps buffer and caches disjoint.
+                    // The fill carries the prefetch insertion class: these
+                    // lines arrived speculatively, so the configured (or
+                    // mechanism-chosen) policy may insert them at LRU or
+                    // bypass the cache entirely.
                     if self.pf.migrate_used_lines() {
                         match &mut self.l0 {
                             Some((l0, _)) => {
-                                l0.fill(slot.line);
+                                l0.fill_with(slot.line, self.migrate_class);
                             }
                             None => {
-                                self.l1.fill(slot.line);
+                                self.l1.fill_with(slot.line, self.migrate_class);
                             }
                         }
                     }
@@ -545,6 +609,11 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
             let line = slot.line;
 
             // Parallel probe: pre-buffer and L0 are the fast sources.
+            // Every arm that starts an access first translates the line's
+            // page ([`translate_demand`](Self::translate_demand)): with no
+            // TLB (or on a hit) the access starts at `now`, bit-identical
+            // to the untranslated front-end; a miss serializes the page
+            // walk ahead of the array/L2 access.
             let pb_state = self.pb.as_ref().map_or(PbLookup::Miss, |pb| pb.lookup(line));
             let (state, source) = match pb_state {
                 PbLookup::Valid | PbLookup::Pending => {
@@ -560,7 +629,8 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
                         }
                     }
                     if pb_state == PbLookup::Valid {
-                        let ready = self.pb_port.start(now);
+                        let at = self.translate_demand(line, now);
+                        let ready = self.pb_port.start(at);
                         (LfState::Ready(ready), FetchSource::PreBuffer)
                     } else {
                         (LfState::WaitPb, FetchSource::PreBuffer)
@@ -570,13 +640,16 @@ impl<P: InstrPrefetcher> FrontEnd<P> {
                     // A blocking (non-pipelined) L1 whose port is busy:
                     // leave L1-resident lines queued and retry next cycle
                     // rather than commit to a far-future access slot.
+                    // (Checked before translating, so a retried line does
+                    // not pay — or train — the TLB twice.)
                     if self.l1.contains(line)
                         && !self.cfg.l1_pipelined
                         && !self.l1_port.can_start(now)
                     {
                         return;
                     }
-                    self.probe_storage(line, now, l2)
+                    let at = self.translate_demand(line, now);
+                    self.probe_storage(line, at, l2)
                 }
             };
             self.queue.pop_head_line();

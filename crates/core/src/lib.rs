@@ -38,6 +38,7 @@ pub mod stats;
 
 pub use buffer::{PbKind, PbLookup, PreBuffer};
 pub use config::{FrontendConfig, PrefetcherKind};
+pub use prestage_cache::{ITlbConfig, InsertionPolicy, TlbCheckpoint, TlbStats};
 pub use frontend::{Delivery, FetchSource, FrontEnd};
 pub use prefetch::{
     prefetcher_state_bytes, ClgpPrefetcher, FdpPrefetcher, InstrPrefetcher, ManaPrefetcher,

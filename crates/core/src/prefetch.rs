@@ -34,7 +34,7 @@ use crate::config::{FrontendConfig, PrefetcherKind};
 use crate::frontend::RouteTable;
 use crate::queue::{FetchQueue, LineSlot};
 use crate::stats::FrontStats;
-use prestage_cache::{ArrayPort, L2System, ReqClass, ReqId, SetAssocCache};
+use prestage_cache::{ArrayPort, ITlb, InsertionPolicy, L2System, ReqClass, ReqId, SetAssocCache};
 use prestage_isa::Addr;
 use std::collections::VecDeque;
 
@@ -67,18 +67,40 @@ pub struct PrefetchView<'a> {
     pub(crate) l1_copies: &'a mut Vec<(u64, ReqId)>,
     pub(crate) routes: &'a mut RouteTable,
     pub(crate) next_synth: &'a mut u64,
+    pub(crate) tlb: Option<&'a mut ITlb>,
     pub stats: &'a mut FrontStats,
 }
 
 impl PrefetchView<'_> {
+    /// Translate `line`'s page through the i-TLB on the prefetch path:
+    /// the cycle at which the copy/L2 access may start.  With no TLB this
+    /// is `now`; a miss pays the page walk *and installs the translation*
+    /// — prefetchers both suffer and cause i-TLB traffic, which is the
+    /// pollution-vs-warmth trade Jamet et al. study.
+    fn translate(&mut self, line: Addr, now: u64) -> u64 {
+        match &mut self.tlb {
+            Some(tlb) => tlb.translate(line, now),
+            None => now,
+        }
+    }
+
+    /// Side-effect-free i-TLB presence probe: `None` when translation is
+    /// unmodeled, else whether `line`'s page would hit.  A mechanism can
+    /// use this to *probe around* walks — skip (or deprioritize) candidate
+    /// lines whose translation is cold instead of paying `miss_cycles`.
+    pub fn tlb_probe(&self, line: Addr) -> Option<bool> {
+        self.tlb.as_ref().map(|t| t.probe(line))
+    }
+
     /// Allocate `line` in the pre-buffer and fill it by copying out of the
     /// L1 over the replicated-tag copy port (§3.1's "additional tag port"
     /// extended to data).  Caller has verified the pre-buffer exists, the
     /// line is absent from it, allocation can succeed, and the line is
     /// L1-resident.
     pub fn copy_from_l1(&mut self, line: Addr, now: u64) {
+        let at = self.translate(line, now);
         let pb = self.pb.as_deref_mut().expect("copy requires a pre-buffer");
-        let done = self.l1_copy_port.start(now);
+        let done = self.l1_copy_port.start(at);
         let id = ReqId(*self.next_synth);
         *self.next_synth += 1;
         pb.allocate(line, id);
@@ -90,12 +112,14 @@ impl PrefetchView<'_> {
     /// Allocate `line` in the pre-buffer and raise (or piggy-back on) a
     /// prefetch-class request to the L2 system.  Caller has verified the
     /// pre-buffer exists, the line is absent from it, and allocation can
-    /// succeed.
+    /// succeed.  The line's page translates first: a cold translation
+    /// delays the L2 submission by the page-walk latency.
     pub fn request_from_l2(&mut self, line: Addr, now: u64, l2: &mut L2System) {
+        let at = self.translate(line, now);
         let pb = self.pb.as_deref_mut().expect("prefetch requires a pre-buffer");
         let req = match l2.find_pending(line) {
             Some(r) => r,
-            None => l2.submit(line, ReqClass::Prefetch, now),
+            None => l2.submit(line, ReqClass::Prefetch, at),
         };
         pb.allocate(line, req);
         self.routes.get_or_insert(req).pb_fill = true;
@@ -136,6 +160,18 @@ pub trait InstrPrefetcher: std::fmt::Debug {
     /// the buffer and does not want them filled straight back.
     fn migrate_used_lines(&self) -> bool {
         true
+    }
+
+    /// How the mechanism's migrated (prefetch-class) lines insert into the
+    /// L0/L1 replacement order — the `migrate_used_lines`-style policy
+    /// hook behind [`FillClass::Prefetch`](prestage_cache::FillClass).
+    /// MRU (demand-identical, the historical behavior) for every current
+    /// mechanism; a confidence-tracking mechanism may return
+    /// [`InsertionPolicy::Lru`] or [`InsertionPolicy::Bypass`] to keep
+    /// speculative lines from displacing demand-hot ones.  The
+    /// `FrontendConfig::insertion` knob overrides this per experiment.
+    fn prefetch_insertion(&self) -> InsertionPolicy {
+        InsertionPolicy::Mru
     }
 
     /// A branch-misprediction redirect reached the front-end: drop

@@ -2,7 +2,7 @@
 
 use crate::backend::BackendConfig;
 use prestage_cacti::TechNode;
-use prestage_core::{FrontendConfig, PrefetcherKind};
+use prestage_core::{FrontendConfig, ITlbConfig, InsertionPolicy, PrefetcherKind};
 use serde::{Deserialize, Serialize};
 
 /// Every named configuration in the paper's evaluation (Figures 1-8).
@@ -190,6 +190,21 @@ impl SimConfig {
             self.frontend.pb_entries =
                 FrontendConfig::one_cycle_buffer_lines(self.frontend.tech);
         }
+        self
+    }
+
+    /// Model an instruction TLB (the `ExperimentSpec` `itlb` field):
+    /// `None` keeps translation free, the pre-TLB behavior bit for bit.
+    pub fn with_itlb(mut self, itlb: Option<ITlbConfig>) -> Self {
+        self.frontend.itlb = itlb;
+        self
+    }
+
+    /// Force one prefetch-fill insertion policy across mechanisms (the
+    /// `ExperimentSpec` `insertion` field); `None` keeps each mechanism's
+    /// own choice.
+    pub fn with_insertion(mut self, insertion: Option<InsertionPolicy>) -> Self {
+        self.frontend.insertion = insertion;
         self
     }
 

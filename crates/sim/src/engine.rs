@@ -20,7 +20,7 @@ use crate::stats::SimStats;
 use prestage_bpred::{
     FetchBlockPredictor, GsharePredictor, StreamDesc, StreamPredictor, StreamPrediction,
 };
-use prestage_cache::{Completion, L2Config, L2System, ReqClass};
+use prestage_cache::{Completion, L2Config, L2System, ReqClass, TlbCheckpoint};
 use prestage_core::{
     ClgpPrefetcher, Delivery, FdpPrefetcher, FrontEnd, InstrPrefetcher, ManaPrefetcher,
     NextLinePrefetcher, NoPrefetcher, PrefetchCheckpoint, PrefetcherKind, ProgMapPrefetcher,
@@ -131,6 +131,10 @@ struct RedirectInfo {
     /// reinstated after the redirect flush (wrong-path fetches must not
     /// corrupt a mechanism's training cursors / stream expectations).
     pf_checkpoint: PrefetchCheckpoint,
+    /// i-TLB contents at the divergence point (empty when no TLB is
+    /// configured): wrong-path translations are unwound on redirect so a
+    /// checkpointed replay matches the live run bit for bit.
+    tlb_checkpoint: TlbCheckpoint,
 }
 
 /// Which fetch-block predictor drives the front-end.
@@ -607,6 +611,7 @@ impl<'w, P: InstrPrefetcher> EngineImpl<'w, P> {
         debug_assert_eq!(r.ruu_seq, Some(ruu_seq));
         self.fe.flush();
         self.fe.prefetcher_restore(&r.pf_checkpoint);
+        self.fe.tlb_restore(&r.tlb_checkpoint);
         self.decode.clear();
         self.blocks.clear_into(&mut self.vec_pool);
         self.pred.restore(&r.checkpoint);
@@ -746,6 +751,7 @@ impl<'w, P: InstrPrefetcher> EngineImpl<'w, P> {
                     ruu_seq: None,
                     checkpoint,
                     pf_checkpoint: self.fe.prefetcher_checkpoint(),
+                    tlb_checkpoint: self.fe.tlb_checkpoint(),
                 });
                 self.path = PathState::WrongPath {
                     next_start: ps.next.max(4),

@@ -37,7 +37,7 @@ pub use artifacts::results_dir;
 pub use backend::{BackEnd, BackendConfig, BackendStats};
 pub use config::{ConfigPreset, SimConfig};
 pub use engine::{Engine, PredictorKind};
-pub use prestage_core::PrefetcherKind;
+pub use prestage_core::{ITlbConfig, InsertionPolicy, PrefetcherKind};
 pub use runner::{
     default_threads, live_source, pool_map, pool_map_cancellable, pool_threads, run_cells,
     run_cells_full, run_cells_sourced, run_cells_sourced_observed, run_cells_with_threads,

@@ -28,7 +28,7 @@
 
 use crate::config::{ConfigPreset, SimConfig};
 use crate::engine::PredictorKind;
-use prestage_core::PrefetcherKind;
+use prestage_core::{ITlbConfig, InsertionPolicy, PrefetcherKind};
 use crate::runner::{
     default_threads, live_source, run_cells_sourced_observed, CellGrid, CellResult,
     GridResult, SweepCell,
@@ -60,10 +60,12 @@ pub const L1_SIZES: [usize; 9] = [
 
 /// Schema version of every JSON artifact this module writes.  Schema 2
 /// added the `trace` field; schema 3 added the `prefetcher` mechanism
-/// override.  Spec files of earlier schemas still parse, with the fields
-/// they predate defaulting (`trace` → live generation, `prefetcher` →
-/// each preset's own mechanism).
-pub const SPEC_SCHEMA: u64 = 3;
+/// override; schema 4 added the memory-system model fields `itlb` and
+/// `insertion`.  Spec files of earlier schemas still parse, with the
+/// fields they predate defaulting (`trace` → live generation,
+/// `prefetcher` → each preset's own mechanism, `itlb` → free translation,
+/// `insertion` → each mechanism's own policy).
+pub const SPEC_SCHEMA: u64 = 4;
 
 /// Run-ahead slack `prestage trace record` captures beyond
 /// `warmup + measure`: the decoupled front-end pulls streams ahead of
@@ -159,6 +161,16 @@ pub struct ExperimentSpec {
     /// identity: it changes results, so shards produced under different
     /// prefetcher ids refuse to merge.
     pub prefetcher: Option<PrefetcherKind>,
+    /// Instruction-TLB model: `None` keeps translation free (the paper's
+    /// implicit assumption, and bit-identical to pre-TLB artifacts);
+    /// `Some` threads every fetched or prefetched address through an
+    /// i-TLB whose misses charge a page-walk latency.  Experiment
+    /// identity: shards produced under different TLB models refuse to
+    /// merge, by name.
+    pub itlb: Option<ITlbConfig>,
+    /// Prefetch-fill insertion override (`"mru"`, `"lru"`, `"bypass"`):
+    /// `None` leaves each mechanism its own policy.  Experiment identity.
+    pub insertion: Option<InsertionPolicy>,
 }
 
 impl Default for ExperimentSpec {
@@ -178,6 +190,8 @@ impl Default for ExperimentSpec {
             predictor: PredictorKind::Stream,
             trace: None,
             prefetcher: None,
+            itlb: None,
+            insertion: None,
         }
     }
 }
@@ -544,7 +558,9 @@ impl ExperimentSpec {
     /// prefetch mechanism.
     pub fn sim_config(&self, preset: ConfigPreset, l1: usize) -> SimConfig {
         let cfg = SimConfig::preset(preset, self.tech, l1)
-            .with_insts(self.warmup_insts, self.measure_insts);
+            .with_insts(self.warmup_insts, self.measure_insts)
+            .with_itlb(self.itlb)
+            .with_insertion(self.insertion);
         match self.prefetcher {
             Some(kind) => cfg.with_prefetcher(kind),
             None => cfg,
@@ -589,6 +605,8 @@ impl ExperimentSpec {
             predictor,
             trace,
             prefetcher,
+            itlb,
+            insertion,
         } = self;
         Json::obj([
             ("schema", SPEC_SCHEMA.into()),
@@ -630,6 +648,25 @@ impl ExperimentSpec {
                     Some(k) => k.id().into(),
                 },
             ),
+            (
+                "itlb",
+                match itlb {
+                    None => Json::Null,
+                    Some(t) => Json::obj([
+                        ("entries", t.entries.into()),
+                        ("assoc", t.assoc.into()),
+                        ("page_bytes", t.page_bytes.into()),
+                        ("miss_cycles", t.miss_cycles.into()),
+                    ]),
+                },
+            ),
+            (
+                "insertion",
+                match insertion {
+                    None => Json::Null,
+                    Some(p) => p.id().into(),
+                },
+            ),
         ])
     }
 
@@ -645,7 +682,7 @@ impl ExperimentSpec {
         let keys = v
             .keys()
             .ok_or_else(|| "spec must be a JSON object".to_string())?;
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 15] = [
             "schema",
             "presets",
             "tech",
@@ -659,6 +696,8 @@ impl ExperimentSpec {
             "predictor",
             "trace",
             "prefetcher",
+            "itlb",
+            "insertion",
         ];
         let schema = v
             .get("schema")
@@ -669,13 +708,15 @@ impl ExperimentSpec {
                 "spec schema {schema} not supported (this build reads schemas 1..={SPEC_SCHEMA})"
             ));
         }
-        // `trace` arrived with schema 2 and `prefetcher` with schema 3; a
-        // file of an earlier schema both may and must omit the later
-        // fields (strictness per schema: no field is ever silently
-        // ignored, none is silently defaulted within its own schema).
+        // `trace` arrived with schema 2, `prefetcher` with schema 3, and
+        // `itlb`/`insertion` with schema 4; a file of an earlier schema
+        // both may and must omit the later fields (strictness per schema:
+        // no field is ever silently ignored, none is silently defaulted
+        // within its own schema).
         let known: &[&str] = match schema {
             1 => &KNOWN[..11],
             2 => &KNOWN[..12],
+            3 => &KNOWN[..13],
             _ => &KNOWN,
         };
         for k in &keys {
@@ -795,6 +836,57 @@ impl ExperimentSpec {
                 })?)
             }
         };
+        // Strict object parse for the i-TLB model: all four sizing fields
+        // present, nothing else — a misspelled `"pagebytes"` must not
+        // silently model 4 KiB pages.
+        let itlb = match v.get("itlb") {
+            None | Some(Json::Null) => None,
+            Some(t) => {
+                const TLB_FIELDS: [&str; 4] = ["entries", "assoc", "page_bytes", "miss_cycles"];
+                let tkeys = t.keys().ok_or(
+                    "itlb must be null or an object \
+                     {\"entries\", \"assoc\", \"page_bytes\", \"miss_cycles\"}",
+                )?;
+                for k in &tkeys {
+                    if !TLB_FIELDS.contains(k) {
+                        return Err(format!(
+                            "unknown itlb field {k:?} (valid fields: {})",
+                            TLB_FIELDS.join(", ")
+                        ));
+                    }
+                }
+                for k in TLB_FIELDS {
+                    if !tkeys.contains(&k) {
+                        return Err(format!("itlb is missing field {k:?}"));
+                    }
+                }
+                let tlb_usize = |name: &str| {
+                    t.get(name)
+                        .and_then(|f| f.as_usize())
+                        .ok_or_else(|| format!("itlb.{name} must be an unsigned integer"))
+                };
+                let tlb_u64 = |name: &str| {
+                    t.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("itlb.{name} must be an unsigned integer"))
+                };
+                Some(ITlbConfig {
+                    entries: tlb_usize("entries")?,
+                    assoc: tlb_usize("assoc")?,
+                    page_bytes: tlb_u64("page_bytes")?,
+                    miss_cycles: tlb_u64("miss_cycles")?,
+                })
+            }
+        };
+        let insertion = match v.get("insertion") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let id = p
+                    .as_str()
+                    .ok_or("insertion must be null or a policy id string")?;
+                Some(InsertionPolicy::from_id(id).map_err(|e| format!("spec field insertion: {e}"))?)
+            }
+        };
         Ok(ExperimentSpec {
             presets,
             tech,
@@ -808,6 +900,8 @@ impl ExperimentSpec {
             predictor,
             trace,
             prefetcher,
+            itlb,
+            insertion,
         })
     }
 
@@ -1444,6 +1538,8 @@ mod tests {
             predictor: PredictorKind::Stream,
             trace: None,
             prefetcher: None,
+            itlb: None,
+            insertion: None,
         }
     }
 
@@ -1518,7 +1614,7 @@ mod tests {
         let e = ExperimentSpec::from_json(&good.replace("warmup_insts", "warmupinsts"))
             .unwrap_err();
         assert!(e.contains("unknown spec field"), "{e}");
-        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 3", "\"schema\": 99"))
+        let e = ExperimentSpec::from_json(&good.replace("\"schema\": 4", "\"schema\": 99"))
             .unwrap_err();
         assert!(e.contains("schema 99"), "{e}");
         let e = ExperimentSpec::from_json(&good.replace("\"clgp+l0\"", "\"clgp+l9\""))
@@ -1569,26 +1665,85 @@ mod tests {
     fn schema_1_and_2_specs_still_parse_with_their_defaults() {
         // A pre-trace spec file (schema 1, no trace/prefetcher) keeps
         // working, and a schema-2 file (trace, no prefetcher) too...
-        let v3 = tiny_spec().to_json();
+        let v4 = tiny_spec().to_json();
+        let cut_memory_model =
+            |text: &str| cut_field(&cut_field(text, "itlb"), "insertion");
         let v1 = cut_field(
-            &cut_field(&v3.replace("\"schema\": 3", "\"schema\": 1"), "trace"),
+            &cut_field(
+                &cut_memory_model(&v4.replace("\"schema\": 4", "\"schema\": 1")),
+                "trace",
+            ),
             "prefetcher",
         );
         let spec = ExperimentSpec::from_json(&v1).unwrap();
         assert_eq!(spec, tiny_spec());
-        let v2 = cut_field(&v3.replace("\"schema\": 3", "\"schema\": 2"), "prefetcher");
+        let v2 = cut_field(
+            &cut_memory_model(&v4.replace("\"schema\": 4", "\"schema\": 2")),
+            "prefetcher",
+        );
         let spec = ExperimentSpec::from_json(&v2).unwrap();
+        assert_eq!(spec, tiny_spec());
+        // ...and a schema-3 file (prefetcher, no itlb/insertion) too.
+        let v3 = cut_memory_model(&v4.replace("\"schema\": 4", "\"schema\": 3"));
+        let spec = ExperimentSpec::from_json(&v3).unwrap();
         assert_eq!(spec, tiny_spec());
         // ...but an earlier-schema file *claiming* a later field carries a
         // field from the future, rejected rather than half-understood.
-        let e = ExperimentSpec::from_json(
-            &cut_field(&v3.replace("\"schema\": 3", "\"schema\": 1"), "prefetcher"),
-        )
+        let e = ExperimentSpec::from_json(&cut_field(
+            &cut_memory_model(&v4.replace("\"schema\": 4", "\"schema\": 1")),
+            "prefetcher",
+        ))
         .unwrap_err();
         assert!(e.contains("unknown spec field \"trace\""), "{e}");
-        let e = ExperimentSpec::from_json(&v3.replace("\"schema\": 3", "\"schema\": 2"))
-            .unwrap_err();
+        let e = ExperimentSpec::from_json(&cut_memory_model(
+            &v4.replace("\"schema\": 4", "\"schema\": 2"),
+        ))
+        .unwrap_err();
         assert!(e.contains("unknown spec field \"prefetcher\""), "{e}");
+        let e = ExperimentSpec::from_json(&v4.replace("\"schema\": 4", "\"schema\": 3"))
+            .unwrap_err();
+        assert!(e.contains("unknown spec field \"itlb\""), "{e}");
+    }
+
+    #[test]
+    fn itlb_and_insertion_fields_round_trip_and_reject_typos() {
+        let spec = ExperimentSpec {
+            itlb: Some(ITlbConfig {
+                entries: 16,
+                assoc: 2,
+                page_bytes: 4096,
+                miss_cycles: 20,
+            }),
+            insertion: Some(InsertionPolicy::Lru),
+            ..tiny_spec()
+        };
+        spec.validate().unwrap();
+        let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let text = spec.to_json();
+        // Misspelled / missing i-TLB sizing fields are loud.
+        let e = ExperimentSpec::from_json(&text.replace("page_bytes", "pagebytes"))
+            .unwrap_err();
+        assert!(e.contains("unknown itlb field \"pagebytes\""), "{e}");
+        let e = ExperimentSpec::from_json(&text.replace("\"miss_cycles\": 20", "\"miss_cycles\": \"x\""))
+            .unwrap_err();
+        assert!(e.contains("itlb.miss_cycles"), "{e}");
+        let e = ExperimentSpec::from_json(
+            &text.replace("\"insertion\": \"lru\"", "\"insertion\": \"plru\""),
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown insertion policy `plru`"), "{e}");
+        // A non-power-of-two set count is a validation error, by name.
+        let bad = ExperimentSpec {
+            itlb: Some(ITlbConfig {
+                entries: 48,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_cycles: 20,
+            }),
+            ..tiny_spec()
+        };
+        assert!(bad.validate().unwrap_err().contains("itlb entries"));
     }
 
     #[test]

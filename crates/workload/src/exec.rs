@@ -15,11 +15,10 @@
 
 use crate::codegen::{BranchModel, MemModel, Workload};
 use prestage_bpred::{StreamDesc, StreamEnd, MAX_STREAM_INSTS};
-use prestage_isa::{Addr, BlockId, OpClass, Terminator, INST_BYTES};
+use prestage_isa::{Addr, BasicBlock, BlockId, OpClass, Terminator, INST_BYTES};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One dynamically executed instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,9 +53,17 @@ pub struct TraceGenerator<'w> {
     pc: Addr,
     call_stack: Vec<Addr>,
     branch_state: Vec<BranchState>,
-    /// Visit counters for strided memory sites, keyed `block << 16 | idx`.
-    // prestage: allow(nondeterministic-iteration, accessed only via entry() with a full key and never iterated — no order to leak)
-    mem_visits: HashMap<u64, u32>,
+    /// Index of the block the generator executed last: the next PC is
+    /// almost always in the same block or its address-order successor, so
+    /// block lookup is two `contains` probes instead of a binary search.
+    cur_block: u32,
+    /// Per-block offsets into [`Self::mem_counts`]: block `b`'s memory
+    /// sites occupy `mem_slot_base[b] ..` in declaration order.
+    mem_slot_base: Vec<u32>,
+    /// Visit counters for strided memory sites, one flat slot per static
+    /// `(block, mem-site)` — the per-transition `HashMap` this replaced
+    /// hashed a synthetic key on every strided access.
+    mem_counts: Vec<u32>,
     /// Maximum instructions per emitted stream.
     max_stream: u32,
     emitted: u64,
@@ -66,13 +73,21 @@ impl<'w> TraceGenerator<'w> {
     /// Start executing `w` from its entry point.  `seed` controls branch
     /// outcomes and memory addresses (independently of the codegen seed).
     pub fn new(w: &'w Workload, seed: u64) -> Self {
+        let mut mem_slot_base = Vec::with_capacity(w.program.num_blocks());
+        let mut total = 0u32;
+        for bid in 0..w.program.num_blocks() {
+            mem_slot_base.push(total);
+            // prestage: allow(truncating-cast, mem sites per block are u16-indexed and block counts are u32 BlockIds)
+            total += w.control_of(BlockId(bid as u32)).mem.len() as u32;
+        }
         TraceGenerator {
             rng: SmallRng::seed_from_u64(seed ^ 0x7ACE_7ACE),
             pc: w.program.entry(),
             call_stack: Vec::with_capacity(32),
             branch_state: vec![BranchState::default(); w.program.num_blocks()],
-            // prestage: allow(nondeterministic-iteration, see the field declaration — keyed entry() access only)
-            mem_visits: HashMap::new(),
+            cur_block: 0,
+            mem_slot_base,
+            mem_counts: vec![0; total as usize],
             max_stream: MAX_STREAM_INSTS,
             w,
             emitted: 0,
@@ -89,11 +104,12 @@ impl<'w> TraceGenerator<'w> {
         self.call_stack.len()
     }
 
-    fn mem_addr(&mut self, block: BlockId, idx: u16, model: &MemModel) -> Addr {
+    /// `slot` is the flat counter index of the site (`mem_slot_base[block]
+    /// + position in the block's mem list`); only `Stride` reads it.
+    fn mem_addr(&mut self, slot: usize, model: &MemModel) -> Addr {
         match *model {
             MemModel::Stride { base, stride, span } => {
-                let key = (block.0 as u64) << 16 | idx as u64;
-                let k = self.mem_visits.entry(key).or_insert(0);
+                let k = &mut self.mem_counts[slot];
                 let addr = base + (*k as u64 * stride as u64) % span as u64;
                 *k = k.wrapping_add(1);
                 addr & !7
@@ -101,6 +117,29 @@ impl<'w> TraceGenerator<'w> {
             MemModel::Random { base, mask } => (base + (self.rng.gen::<u64>() & mask)) & !7,
             MemModel::Stack { base, mask } => (base + (self.rng.gen::<u64>() & mask)) & !7,
         }
+    }
+
+    /// The block containing `self.pc`: the cached block, its successor, or
+    /// (cold path: a call, return, or cross-function jump) binary search.
+    fn lookup_block(&mut self) -> &'w BasicBlock {
+        let blocks = self.w.program.blocks();
+        let cur = &blocks[self.cur_block as usize];
+        if cur.contains(self.pc) {
+            return cur;
+        }
+        if let Some(next) = blocks.get(self.cur_block as usize + 1) {
+            if next.contains(self.pc) {
+                self.cur_block += 1;
+                return next;
+            }
+        }
+        let b = self
+            .w
+            .program
+            .block_at(self.pc)
+            .unwrap_or_else(|| panic!("executed off the program image at {:#x}", self.pc));
+        self.cur_block = b.id.0;
+        b
     }
 
     fn eval_branch(&mut self, block: BlockId, model: &BranchModel) -> bool {
@@ -143,11 +182,7 @@ impl<'w> TraceGenerator<'w> {
         out.clear();
         let start = self.pc;
         loop {
-            let block = self
-                .w
-                .program
-                .block_at(self.pc)
-                .unwrap_or_else(|| panic!("executed off the program image at {:#x}", self.pc));
+            let block = self.lookup_block();
             let bid = block.id;
             let first = ((self.pc - block.start) / INST_BYTES) as usize;
             // Payload instructions (everything before any terminator CTI).
@@ -166,18 +201,29 @@ impl<'w> TraceGenerator<'w> {
                 let is_cti = inst.op.is_cti();
                 if !is_cti {
                     let mem_addr = if inst.op.is_mem() {
-                        let model = self
+                        let site = self
                             .w
                             .control_of(bid)
                             .mem
                             .iter()
-                            .find(|&&(mi, _)| mi as usize == ii)
-                            .map(|&(_, m)| m)
-                            .unwrap_or(MemModel::Stack {
-                                base: crate::codegen::STACK_BASE,
-                                mask: 0xFFF,
-                            });
-                        Some(self.mem_addr(bid, ii as u16, &model))
+                            .enumerate()
+                            .find(|&(_, &(mi, _))| mi as usize == ii);
+                        let (slot, model) = match site {
+                            Some((pos, &(_, m))) => {
+                                (self.mem_slot_base[bid.0 as usize] as usize + pos, m)
+                            }
+                            // A mem instruction with no declared site gets
+                            // the default stack model, which never touches
+                            // a counter, so any slot will do.
+                            None => (
+                                0,
+                                MemModel::Stack {
+                                    base: crate::codegen::STACK_BASE,
+                                    mask: 0xFFF,
+                                },
+                            ),
+                        };
+                        Some(self.mem_addr(slot, &model))
                     } else {
                         None
                     };
@@ -300,6 +346,50 @@ mod tests {
             let s2 = t.next_stream(&mut buf);
             assert_eq!(s2.start, s.next);
         }
+    }
+
+    #[test]
+    fn cached_block_lookup_matches_binary_search() {
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 9);
+        let insts = t.take_insts(30_000);
+        for i in &insts {
+            let b = w.program.block_at(i.pc).expect("on image");
+            assert_eq!(b.id, i.block, "cached lookup misattributed {:#x}", i.pc);
+        }
+    }
+
+    #[test]
+    fn strided_sites_count_independently() {
+        // Two strided sites must not share a counter: every Stride site's
+        // address sequence is arithmetic modulo its span on its own clock,
+        // exactly as the per-site HashMap counters behaved.
+        let w = small_workload();
+        let mut t = TraceGenerator::new(&w, 9);
+        let insts = t.take_insts(120_000);
+        let mut per_site: std::collections::BTreeMap<(u32, u16), Vec<Addr>> =
+            std::collections::BTreeMap::new();
+        for i in insts.iter().filter(|i| i.op.is_mem()) {
+            per_site
+                .entry((i.block.0, i.idx))
+                .or_default()
+                .push(i.mem_addr.unwrap());
+        }
+        let mut strided_checked = 0;
+        for ((b, ii), addrs) in &per_site {
+            let ctl = w.control_of(BlockId(*b));
+            let Some(&(_, MemModel::Stride { base, stride, span })) =
+                ctl.mem.iter().find(|&&(mi, _)| mi == *ii)
+            else {
+                continue;
+            };
+            for (k, &a) in addrs.iter().enumerate() {
+                let want = (base + (k as u64 * stride as u64) % span as u64) & !7;
+                assert_eq!(a, want, "site ({b},{ii}) visit {k}");
+            }
+            strided_checked += 1;
+        }
+        assert!(strided_checked > 1, "workload has no strided sites to check");
     }
 
     #[test]

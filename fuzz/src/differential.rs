@@ -7,8 +7,8 @@
 //! grid artifacts must be **byte-identical**.  Alongside, two standing
 //! claims get their own properties: all six prefetch mechanisms are
 //! bit-identical when the pre-buffer is disabled by config (a disabled
-//! mechanism must be *absent*, not merely quiet), and schema-1/2 spec
-//! files upgrade to the same canonical schema-3 JSON as their modern
+//! mechanism must be *absent*, not merely quiet), and schema-1/2/3 spec
+//! files upgrade to the same canonical schema-4 JSON as their modern
 //! equivalents.
 //!
 //! Determinism: every choice comes from one [`SmallRng`] stream, so a
@@ -16,7 +16,7 @@
 //! message embeds the full spec JSON so it can be re-run by hand.
 
 use prestage_cacti::TechNode;
-use prestage_core::PrefetcherKind;
+use prestage_core::{ITlbConfig, InsertionPolicy, PrefetcherKind};
 use prestage_json::Json;
 use prestage_sim::{
     grid_output, run_spec_cells, try_run_spec, CellGrid, CellResult, ConfigPreset, Engine,
@@ -88,6 +88,24 @@ fn random_small_spec(rng: &mut SmallRng) -> ExperimentSpec {
             prefetcher: if rng.gen_bool(0.5) {
                 let kinds = PrefetcherKind::all();
                 Some(kinds[rng.gen_range(0..kinds.len())])
+            } else {
+                None
+            },
+            itlb: if rng.gen_bool(0.5) {
+                // Power-of-two sets by construction; pages no smaller than
+                // the 64 B line size the validator insists on.
+                Some(ITlbConfig {
+                    entries: [4usize, 16, 64][rng.gen_range(0..3usize)],
+                    assoc: [1usize, 2, 4][rng.gen_range(0..3usize)],
+                    page_bytes: [256u64, 1024, 4096][rng.gen_range(0..3usize)],
+                    miss_cycles: rng.gen_range(1..=40u64),
+                })
+            } else {
+                None
+            },
+            insertion: if rng.gen_bool(0.5) {
+                let all = InsertionPolicy::all();
+                Some(all[rng.gen_range(0..all.len())])
             } else {
                 None
             },
@@ -244,20 +262,30 @@ fn check_disabled_mechanisms(rng: &mut SmallRng) -> Result<(), String> {
     Ok(())
 }
 
-/// Property C — a schema-1 or schema-2 rendering of a spec (fields the
+/// Property C — a schema-1, -2 or -3 rendering of a spec (fields the
 /// old schemas lacked stripped, schema number rewritten) must upgrade to
 /// the *same* canonical JSON as the modern spec restricted to what the
 /// old schema could express: dropping an unexpressible field downgrades
 /// the *spec*, so the expectation drops it too (for a `prefetcher: None`
 /// spec this degenerates to exact round-tripping, the original property).
 fn check_schema_upgrade(spec: &ExperimentSpec) -> Result<(), String> {
-    for (schema, dropped) in [(1i128, &["trace", "prefetcher"][..]), (2, &["prefetcher"][..])] {
+    for (schema, dropped) in [
+        (1i128, &["trace", "prefetcher", "itlb", "insertion"][..]),
+        (2, &["prefetcher", "itlb", "insertion"][..]),
+        (3, &["itlb", "insertion"][..]),
+    ] {
         let mut expressible = spec.clone();
         if dropped.contains(&"trace") {
             expressible.trace = None;
         }
         if dropped.contains(&"prefetcher") {
             expressible.prefetcher = None;
+        }
+        if dropped.contains(&"itlb") {
+            expressible.itlb = None;
+        }
+        if dropped.contains(&"insertion") {
+            expressible.insertion = None;
         }
         let canon = expressible.to_json();
         let Json::Obj(pairs) = spec.to_json_value() else {

@@ -89,6 +89,8 @@ const SPEC_TOKENS: &[&str] = &[
     "predictor",
     "trace",
     "prefetcher",
+    "itlb",
+    "insertion",
 ];
 
 /// Fields/sites an acceptable *trace* error may name — the same contract
@@ -473,6 +475,13 @@ pub fn tiny_spec() -> ExperimentSpec {
         predictor: prestage_sim::PredictorKind::Stream,
         trace: None,
         prefetcher: None,
+        itlb: Some(prestage_core::ITlbConfig {
+            entries: 16,
+            assoc: 2,
+            page_bytes: 1024,
+            miss_cycles: 12,
+        }),
+        insertion: Some(prestage_core::InsertionPolicy::Lru),
     }
 }
 

@@ -209,7 +209,23 @@ fn cmd_merge(mut args: Vec<String>) {
     // Portable comparison: shards that only disagree on `threads` or on
     // the committed-path source (replay is bit-exact to live generation)
     // still describe the same experiment.
+    let itlb_desc = |itlb: &Option<prestage_sim::ITlbConfig>| match itlb {
+        None => "no i-TLB".to_string(),
+        Some(c) => format!("a {}-entry {}-way i-TLB", c.entries, c.assoc),
+    };
     for (path, shard) in &shards[1..] {
+        // Mixed translation is named specifically: a shard simulated with
+        // a different (or absent) i-TLB measured a different machine, and
+        // the generic spec-mismatch message below would hide which knob.
+        if shard.spec.itlb != spec.itlb {
+            fail(&format!(
+                "{path} was simulated with {} but {} with {} — \
+                 translated and untranslated shards cannot merge into one figure",
+                itlb_desc(&shard.spec.itlb),
+                shards[0].0,
+                itlb_desc(&spec.itlb)
+            ));
+        }
         if shard.spec.portable() != spec.portable() {
             fail(&format!(
                 "{path} was produced from a different spec than {} — refusing to merge",

@@ -6,8 +6,8 @@
 use prestage_bench::figures;
 use prestage_cacti::TechNode;
 use prestage_sim::{
-    try_run_spec, ConfigPreset, Engine, ExperimentSpec, PredictorKind, PrefetcherKind,
-    TraceSource, L1_SIZES,
+    try_run_spec, ConfigPreset, Engine, ExperimentSpec, ITlbConfig, InsertionPolicy,
+    PredictorKind, PrefetcherKind, TraceSource, L1_SIZES,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -86,6 +86,24 @@ fn random_spec(seed: u64) -> ExperimentSpec {
         } else {
             let kinds = PrefetcherKind::all();
             Some(kinds[rng.gen_range(0..kinds.len())])
+        },
+        itlb: if rng.gen_bool(0.5) {
+            None
+        } else {
+            // Representable, not necessarily valid: the round-trip
+            // property covers degenerate geometries too.
+            Some(ITlbConfig {
+                entries: rng.gen_range(0..4096usize),
+                assoc: rng.gen_range(0..64usize),
+                page_bytes: rng.gen::<u64>(),
+                miss_cycles: rng.gen::<u64>(),
+            })
+        },
+        insertion: if rng.gen_bool(0.5) {
+            None
+        } else {
+            let all = InsertionPolicy::all();
+            Some(all[rng.gen_range(0..all.len())])
         },
     }
 }
